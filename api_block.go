@@ -1,0 +1,192 @@
+package perfpredict
+
+import (
+	"fmt"
+
+	"perfpredict/internal/lower"
+	"perfpredict/internal/pipesim"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+	"perfpredict/internal/tetris"
+)
+
+// BlockReport is a straight-line cost analysis of a program's
+// innermost basic block — the Figure 7 experiment's unit of
+// comparison.
+type BlockReport struct {
+	// Instructions is the number of basic operations after back-end
+	// imitation.
+	Instructions int
+	// Predicted is the Tetris-model cost of one block execution.
+	Predicted int
+	// PredictedPerIter is the steady-state per-iteration cost when the
+	// block repeats (overlapped iterations).
+	PredictedPerIter float64
+	// Reference is the cycle count of the list-scheduled block on the
+	// in-order reference pipeline (the xlf-listing substitute).
+	Reference int64
+	// Baseline is the conventional operation-count estimate: the sum
+	// of per-operation latencies, ignoring all overlap — the model the
+	// paper says "may be off by a factor of ten or more".
+	Baseline int64
+	// CriticalUnit is the busiest functional unit and its utilization.
+	CriticalUnit string
+	Utilization  float64
+}
+
+// ErrorPct returns the signed prediction error versus the reference in
+// percent.
+func (r BlockReport) ErrorPct() float64 {
+	if r.Reference == 0 {
+		return 0
+	}
+	return 100 * (float64(r.Predicted) - float64(r.Reference)) / float64(r.Reference)
+}
+
+// BaselineFactor returns Baseline / Reference: how far off the
+// conventional model is.
+func (r BlockReport) BaselineFactor() float64 {
+	if r.Reference == 0 {
+		return 0
+	}
+	return float64(r.Baseline) / float64(r.Reference)
+}
+
+// AnalyzeInnermostBlock lowers the innermost loop body of the program
+// and prices it three ways: the Tetris prediction, the reference
+// pipeline simulation, and the operation-count baseline.
+func AnalyzeInnermostBlock(src string, target *Target) (BlockReport, error) {
+	return analyzeInnermostBlock(src, target, lower.DefaultOptions(), tetris.Options{})
+}
+
+// AnalyzeInnermostBlockWithOptions exposes the back-end imitation and
+// placement knobs for ablation studies.
+func AnalyzeInnermostBlockWithOptions(src string, target *Target, lopt lower.Options, topt tetris.Options) (BlockReport, error) {
+	return analyzeInnermostBlock(src, target, lopt, topt)
+}
+
+func analyzeInnermostBlock(src string, target *Target, lopt lower.Options, topt tetris.Options) (BlockReport, error) {
+	prog, err := source.Parse(src)
+	if err != nil {
+		return BlockReport{}, err
+	}
+	tbl, err := sem.Analyze(prog)
+	if err != nil {
+		return BlockReport{}, err
+	}
+	body, loopVars, ok := innermostBlock(prog.Body, nil)
+	if !ok {
+		return BlockReport{}, fmt.Errorf("perfpredict: no innermost straight-line block found")
+	}
+	tr := lower.New(tbl, target, lopt)
+	lw, err := tr.Body(body, loopVars)
+	if err != nil {
+		return BlockReport{}, err
+	}
+	block := lw.Body
+	rep := BlockReport{Instructions: len(block.Instrs)}
+
+	pred, err := tetris.Estimate(target, block, topt)
+	if err != nil {
+		return BlockReport{}, err
+	}
+	rep.Predicted = pred.Cost
+	unit, util := pred.Shape.CriticalUnit()
+	rep.CriticalUnit, rep.Utilization = string(unit), util
+
+	per, _, err := tetris.SteadyState(target, block, topt, 4)
+	if err != nil {
+		return BlockReport{}, err
+	}
+	rep.PredictedPerIter = per
+
+	sim, err := pipesim.RunScheduled(target, block)
+	if err != nil {
+		return BlockReport{}, err
+	}
+	rep.Reference = sim.Cycles
+
+	for _, in := range block.Instrs {
+		rep.Baseline += int64(target.Latency(in.Op))
+	}
+	return rep, nil
+}
+
+// innermostBlock returns the deepest straight-line loop body,
+// preferring the most deeply nested loop.
+func innermostBlock(stmts []source.Stmt, vars []string) ([]source.Stmt, []string, bool) {
+	var bestBody []source.Stmt
+	var bestVars []string
+	bestDepth := -1
+	var walk func(list []source.Stmt, vs []string)
+	walk = func(list []source.Stmt, vs []string) {
+		for _, s := range list {
+			switch x := s.(type) {
+			case *source.DoLoop:
+				inner := append(append([]string{}, vs...), x.Var)
+				if straightOnly(x.Body) {
+					if len(inner) > bestDepth {
+						bestDepth = len(inner)
+						bestBody = x.Body
+						bestVars = inner
+					}
+					continue
+				}
+				walk(x.Body, inner)
+			case *source.IfStmt:
+				walk(x.Then, vs)
+				walk(x.Else, vs)
+			}
+		}
+	}
+	walk(stmts, vars)
+	if bestDepth < 0 {
+		// No loops: the whole body, if straight-line.
+		if straightOnly(stmts) && len(stmts) > 0 {
+			return stmts, nil, true
+		}
+		return nil, nil, false
+	}
+	return bestBody, bestVars, true
+}
+
+func straightOnly(list []source.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	for _, s := range list {
+		switch s.(type) {
+		case *source.Assign, *source.CallStmt, *source.ContinueStmt:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// CountOps exposes the operation histogram of the innermost block (for
+// diagnostics and the examples).
+func CountOps(src string, target *Target) (map[string]int, error) {
+	prog, err := source.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := sem.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	body, loopVars, ok := innermostBlock(prog.Body, nil)
+	if !ok {
+		return nil, fmt.Errorf("perfpredict: no innermost block")
+	}
+	tr := lower.New(tbl, target, lower.DefaultOptions())
+	lw, err := tr.Body(body, loopVars)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]int{}
+	for op, n := range lw.Body.Counts() {
+		out[op.String()] = n
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+// Command figures regenerates every experiment of the reproduction —
+// the paper's Figure 7 plus the framework claims exercised as tables
+// E1–E14 (see DESIGN.md for the index). Output is the markdown recorded
+// in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	figures            # run everything
+//	figures -exp E1    # one experiment
+//	figures -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	ID    string
+	Title string
+	Run   func() error
+}
+
+var experiments = []experiment{
+	{"E1", "Figure 7: straight-line block prediction vs reference vs op-count baseline", expE1},
+	{"E2", "Figure 9: cost-block shape concatenation vs full re-placement", expE2},
+	{"E3", "Linear-time placement: scaling and focus-span ablation", expE3},
+	{"E4", "Unroll-factor selection by prediction vs simulation", expE4},
+	{"E5", "Figure 10 / §3.1: symbolic comparison and crossover prediction", expE5},
+	{"E6", "§3.3.2: loop-index conditional split accuracy", expE6},
+	{"E7", "§2.3: cache-line counting vs cache simulation", expE7},
+	{"E8", "Whole-program aggregated prediction vs dynamic simulation", expE8},
+	{"E9", "§3.2: best-first transformation search", expE9},
+	{"E10", "§1.2: conventional op-count model error", expE10},
+	{"E11", "§3.4: sensitivity analysis ranks run-time test candidates", expE11},
+	{"E12", "Communication model: block vs cyclic distribution choice", expE12},
+	{"E13", "§3.3.1: incremental prediction update (segment cache)", expE13},
+	{"E14", "Efficiency: predictor vs simulator throughput", expE14},
+	{"E15", "Portability: one source, three architecture descriptions", expE15},
+	{"A1", "Ablations: what each model ingredient contributes", expA1},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (E1..E15, A1) or 'all'")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	want := strings.ToUpper(*exp)
+	ran := 0
+	for _, e := range experiments {
+		if want != "ALL" && e.ID != want {
+			continue
+		}
+		fmt.Printf("\n## %s — %s\n\n", e.ID, e.Title)
+		if err := e.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "figures: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}
+
+// table prints rows with aligned columns in markdown.
+func table(header []string, rows [][]string) {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", width[i], c)
+		}
+		fmt.Println("| " + strings.Join(parts, " | ") + " |")
+	}
+	line(header)
+	seps := make([]string, len(header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", width[i])
+	}
+	line(seps)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

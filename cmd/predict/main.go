@@ -1,0 +1,178 @@
+// Command predict prices an F-lite program at compile time and prints
+// the performance expression, its unknowns, per-block detail, and —
+// optionally — the reference simulation for comparison.
+//
+// Usage:
+//
+//	predict [-machine POWER1|SuperScalar2|Scalar1] [-args n=1000,alpha=2]
+//	        [-simulate] [-block] [-optimize] file.f
+//
+// With no file, a built-in kernel name may be given via -kernel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"perfpredict"
+	"perfpredict/internal/kernels"
+)
+
+func main() {
+	machineName := flag.String("machine", "POWER1", "target machine: POWER1, SuperScalar2, Scalar1")
+	argList := flag.String("args", "", "comma-separated name=value assignments for unknowns")
+	kernel := flag.String("kernel", "", "analyze a built-in kernel instead of a file")
+	simulate := flag.Bool("simulate", false, "also run the reference pipeline simulation")
+	block := flag.Bool("block", false, "analyze the innermost basic block (Figure 7 style)")
+	optimize := flag.Bool("optimize", false, "search transformations for a faster variant")
+	flag.Parse()
+
+	var target *perfpredict.Target
+	switch strings.ToLower(*machineName) {
+	case "power1":
+		target = perfpredict.POWER1()
+	case "superscalar2":
+		target = perfpredict.SuperScalar2()
+	case "scalar1":
+		target = perfpredict.Scalar1()
+	default:
+		fatalf("unknown machine %q", *machineName)
+	}
+
+	src, err := loadSource(*kernel, flag.Args())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	args := parseArgs(*argList)
+
+	pred, err := perfpredict.Predict(src, target)
+	if err != nil {
+		fatalf("predict: %v", err)
+	}
+	fmt.Printf("machine:      %s\n", target.Name)
+	fmt.Printf("cost:         %s cycles\n", pred.Cost)
+	if c, ok := pred.OneTime.IsConst(); ok && c > 0 {
+		fmt.Printf("one-time:     %.0f cycles (hoisted loop invariants)\n", c)
+	}
+	if len(pred.Unknowns) > 0 {
+		fmt.Println("unknowns:")
+		for _, u := range pred.Unknowns {
+			fmt.Printf("  %-8s %-12s %s\n", u.Name, u.Kind, u.Source)
+		}
+	}
+	if len(args) > 0 {
+		v, err := pred.EvalAt(args)
+		if err != nil {
+			fatalf("eval: %v", err)
+		}
+		fmt.Printf("at %v:   %.0f cycles\n", args, v)
+	}
+	if *block {
+		rep, err := perfpredict.AnalyzeInnermostBlock(src, target)
+		if err != nil {
+			fatalf("block: %v", err)
+		}
+		fmt.Println("innermost block:")
+		fmt.Printf("  instructions:   %d\n", rep.Instructions)
+		fmt.Printf("  predicted:      %d cycles (%.2f/iter steady state)\n", rep.Predicted, rep.PredictedPerIter)
+		fmt.Printf("  reference:      %d cycles (error %+.1f%%)\n", rep.Reference, rep.ErrorPct())
+		fmt.Printf("  op-count model: %d cycles (%.1fx off)\n", rep.Baseline, rep.BaselineFactor())
+		fmt.Printf("  critical unit:  %s (%.0f%% busy)\n", rep.CriticalUnit, 100*rep.Utilization)
+		ops, _ := perfpredict.CountOps(src, target)
+		keys := make([]string, 0, len(ops))
+		for k := range ops {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var parts []string
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s×%d", k, ops[k]))
+		}
+		fmt.Printf("  mix:            %s\n", strings.Join(parts, " "))
+	}
+	if *simulate {
+		cycles, err := perfpredict.Simulate(src, target, args)
+		if err != nil {
+			fatalf("simulate: %v", err)
+		}
+		fmt.Printf("simulated:    %d cycles\n", cycles)
+		if len(args) > 0 {
+			if v, err := pred.EvalAt(args); err == nil && cycles > 0 {
+				fmt.Printf("pred/sim:     %.2f\n", v/float64(cycles))
+			}
+		}
+	}
+	if *optimize {
+		res, err := perfpredict.Optimize(src, target, args)
+		if err != nil {
+			fatalf("optimize: %v", err)
+		}
+		fmt.Printf("optimize:     %.0f -> %.0f cycles (%d states)\n", res.PredictedBefore, res.PredictedAfter, res.Explored)
+		if len(res.Transformations) > 0 {
+			fmt.Printf("sequence:     %s\n", strings.Join(res.Transformations, ", "))
+			fmt.Println("transformed program:")
+			fmt.Println(indent(res.Source, "  "))
+		} else {
+			fmt.Println("no improving transformation found")
+		}
+	}
+}
+
+func loadSource(kernel string, args []string) (string, error) {
+	if kernel != "" {
+		k, err := kernels.Get(kernel)
+		if err != nil {
+			names := []string{}
+			for _, kk := range kernels.All() {
+				names = append(names, kk.Name)
+			}
+			return "", fmt.Errorf("%v (available: %s)", err, strings.Join(names, ", "))
+		}
+		return k.Src, nil
+	}
+	if len(args) != 1 {
+		return "", fmt.Errorf("usage: predict [flags] file.f (or -kernel name)")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func parseArgs(s string) map[string]float64 {
+	out := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			fatalf("bad assignment %q", part)
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			fatalf("bad value in %q", part)
+		}
+		out[strings.TrimSpace(kv[0])] = v
+	}
+	return out
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "predict: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Partitioning: choose an HPF data distribution with the static
+// communication cost model — the Balasundaram-style use case the
+// paper's framework folds into its unified performance expressions.
+// Costs are symbolic in the processor count P; the choice falls out of
+// symbolic comparison, and the exact message enumerator referees.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfpredict/internal/comm"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+	"perfpredict/internal/symexpr"
+)
+
+func kernel(dist string, offset int) string {
+	return fmt.Sprintf(`
+program stencil
+  integer i, n
+  parameter (n = 256)
+  real a(256), b(264)
+!hpf$ distribute a(%s)
+!hpf$ distribute b(%s)
+  do i = 2, n - 1
+    a(i) = b(i+%d) + 1.0
+  end do
+end
+`, dist, dist, offset)
+}
+
+func analyze(src string) (comm.Cost, *sem.Table, *source.Assign, []comm.ConcreteLoop) {
+	p, err := source.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, err := sem.Analyze(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loop := p.Body[0].(*source.DoLoop)
+	lb, _ := tbl.IntConst(loop.Lb)
+	ub, _ := tbl.IntConst(loop.Ub)
+	assign := loop.Body[0].(*source.Assign)
+	cost, err := comm.EstimateAssign(tbl, assign, []comm.Loop{
+		{Var: loop.Var, Trips: symexpr.Const(float64(ub - lb + 1))},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return cost, tbl, assign, []comm.ConcreteLoop{{Var: loop.Var, Lb: lb, Ub: ub, Step: 1}}
+}
+
+func main() {
+	model := comm.DefaultModel()
+
+	fmt.Println("stencil a(i) = b(i+1): block vs cyclic distribution")
+	blockCost, _, _, _ := analyze(kernel("block", 1))
+	cyclicCost, _, _, _ := analyze(kernel("cyclic", 1))
+	cb := model.Cycles(blockCost)
+	cc := model.Cycles(cyclicCost)
+	fmt.Printf("  C_block(P)  = %s\n", cb)
+	fmt.Printf("  C_cyclic(P) = %s\n", cc)
+
+	// Symbolic comparison over P ∈ [2, 64]: no value of P needs to be
+	// guessed to make the choice.
+	cmp, err := symexpr.Compare(cb, cc, symexpr.Bounds{comm.PVar: {Lo: 2, Hi: 64}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  symbolic verdict over P ∈ [2,64]: %s → distribute BLOCK\n", cmp.Verdict)
+
+	// Referee: enumerate the actual remote fetches at a few P.
+	fmt.Println("\n  exact enumeration (ground truth):")
+	for _, procs := range []int{2, 8, 32} {
+		_, tblB, aB, loopsB := analyze(kernel("block", 1))
+		mB, eB, err := comm.EnumerateAssign(tblB, aB, loopsB, procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, tblC, aC, loopsC := analyze(kernel("cyclic", 1))
+		mC, eC, err := comm.EnumerateAssign(tblC, aC, loopsC, procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  P=%-3d block: %3d msgs %4d elems | cyclic: %3d msgs %4d elems\n",
+			procs, mB, eB, mC, eC)
+	}
+
+	// The counter-case: an offset equal to P is free under cyclic.
+	fmt.Println("\nstencil a(i) = b(i+8) on P=8: the offset is a multiple of P")
+	_, tblB, aB, loopsB := analyze(kernel("block", 8))
+	mB, eB, _ := comm.EnumerateAssign(tblB, aB, loopsB, 8)
+	_, tblC, aC, loopsC := analyze(kernel("cyclic", 8))
+	mC, eC, _ := comm.EnumerateAssign(tblC, aC, loopsC, 8)
+	fmt.Printf("  block:  %d msgs, %d elems\n", mB, eB)
+	fmt.Printf("  cyclic: %d msgs, %d elems  (CyclicLocalDelta(8, 8) = %v)\n",
+		mC, eC, comm.CyclicLocalDelta(8, 8))
+	fmt.Println("  → for this access pattern CYCLIC wins; the model's run-time")
+	fmt.Println("    test (delta mod P == 0) captures exactly this condition")
+}

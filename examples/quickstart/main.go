@@ -1,0 +1,63 @@
+// Quickstart: predict the cost of a Fortran-like kernel at compile
+// time, inspect the symbolic performance expression, evaluate it at a
+// concrete problem size, and compare against the cycle-level reference
+// simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfpredict"
+)
+
+const daxpy = `
+subroutine daxpy(n, alpha)
+  integer i, n
+  real alpha, x(4000), y(4000)
+  do i = 1, n
+    y(i) = y(i) + alpha * x(i)
+  end do
+end
+`
+
+func main() {
+	target := perfpredict.POWER1()
+
+	// Compile-time prediction: no execution, the result is symbolic.
+	pred, err := perfpredict.Predict(daxpy, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine: %s\n", target.Name)
+	fmt.Printf("predicted cost: C(n) = %s cycles\n", pred.Cost)
+	for _, u := range pred.Unknowns {
+		fmt.Printf("  unknown %q (%s): %s\n", u.Name, u.Kind, u.Source)
+	}
+
+	// The innermost block in detail (the paper's Figure 7 view).
+	rep, err := perfpredict.AnalyzeInnermostBlock(daxpy, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninnermost block: %d ops, %d cycles predicted, %d simulated (%+.1f%% error)\n",
+		rep.Instructions, rep.Predicted, rep.Reference, rep.ErrorPct())
+	fmt.Printf("op-count baseline would say %d cycles (%.1fx off)\n",
+		rep.Baseline, rep.BaselineFactor())
+	fmt.Printf("critical unit: %s at %.0f%% utilization\n", rep.CriticalUnit, 100*rep.Utilization)
+
+	// Evaluate the expression and check against dynamic simulation.
+	fmt.Println()
+	for _, n := range []float64{100, 1000, 4000} {
+		p, err := pred.EvalAt(map[string]float64{"n": n})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := perfpredict.Simulate(daxpy, target, map[string]float64{"n": n, "alpha": 2.0})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("n=%5.0f: predicted %7.0f, simulated %7d cycles (ratio %.2f)\n",
+			n, p, s, p/float64(s))
+	}
+}

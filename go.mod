@@ -1,0 +1,3 @@
+module perfpredict
+
+go 1.22

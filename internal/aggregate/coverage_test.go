@@ -1,0 +1,212 @@
+package aggregate
+
+import (
+	"testing"
+
+	"perfpredict/internal/machine"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+	"perfpredict/internal/symexpr"
+)
+
+// Stmts: fragment-level estimation under an explicit loop context —
+// the entry point a restructurer uses to price one loop body.
+func TestStmtsFragment(t *testing.T) {
+	src := `
+subroutine p(n)
+  integer i, n
+  real a(1000)
+  do i = 1, n
+    a(i) = a(i) * 2.0
+  end do
+end
+`
+	prog, err := source.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := prog.Body[0].(*source.DoLoop)
+	est := New(tbl, machine.NewPOWER1(), DefaultOptions())
+	res, err := est.Stmts(loop.Body, []LoopCtx{{
+		Var: "i", Lb: symexpr.Const(1), Ub: symexpr.NewVar("n"), Step: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fragment estimate is per iteration: constant, positive, small.
+	c, ok := res.Cost.IsConst()
+	if !ok || c <= 0 || c > 30 {
+		t.Errorf("fragment cost: %v", res.Cost)
+	}
+}
+
+// Every relational operator of a loop-index condition maps to the
+// right restricted sum (exercises restrictedSum / negateRel / swapRel).
+func TestAllGuardRelations(t *testing.T) {
+	mk := func(rel string) string {
+		return `
+subroutine p(n, k)
+  integer i, n, k
+  real t(4000), f(4000)
+  do i = 1, n
+    if (i ` + rel + ` k) then
+      t(i) = t(i) + 1.0
+    else
+      f(i) = f(i) / 3.0
+    end if
+  end do
+end
+`
+	}
+	n, kv := 2000.0, 700.0
+	for _, rel := range []string{".le.", ".lt.", ".ge.", ".gt.", ".eq.", ".ne."} {
+		res, p, tbl := estimate(t, mk(rel), DefaultOptions())
+		pv := res.Cost.MustEval(map[symexpr.Var]float64{"n": n, "k": kv})
+		sim := float64(simulate(t, p, tbl, map[string]float64{"n": n, "k": kv}))
+		ratio := pv / sim
+		if ratio < 0.6 || ratio > 1.7 {
+			t.Errorf("%s: pred %.0f vs sim %.0f (%.2f)", rel, pv, sim, ratio)
+		}
+	}
+}
+
+// Reversed operand order `k .ge. i` is recognized too (swapRel).
+func TestGuardReversedOperands(t *testing.T) {
+	res, _, _ := estimate(t, `
+subroutine p(n, k)
+  integer i, n, k
+  real t(4000), f(4000)
+  do i = 1, n
+    if (k .ge. i) then
+      t(i) = t(i) + 1.0
+    else
+      f(i) = f(i) / 3.0
+    end if
+  end do
+end
+`, DefaultOptions())
+	if res.Cost.Degree("k") != 1 {
+		t.Errorf("reversed guard not split: %v", res.Cost)
+	}
+	for _, u := range res.Unknowns {
+		if u.Kind == "probability" {
+			t.Errorf("probability var for reversed guard: %+v", u)
+		}
+	}
+}
+
+// exprPoly corner shapes in loop bounds: products, powers, division by
+// constants and by symbolic variables (Laurent).
+func TestBoundExpressionShapes(t *testing.T) {
+	res, _, _ := estimate(t, `
+subroutine p(n, m)
+  integer i, n, m
+  real a(100000)
+  do i = 1, n * m
+    a(1) = a(1) + 1.0
+  end do
+end
+`, DefaultOptions())
+	if res.Cost.Degree("n") != 1 || res.Cost.Degree("m") != 1 {
+		t.Errorf("product bound: %v", res.Cost)
+	}
+
+	res2, _, _ := estimate(t, `
+subroutine p(n)
+  integer i, n
+  real a(100000)
+  do i = 1, n / 2
+    a(1) = a(1) + 1.0
+  end do
+end
+`, DefaultOptions())
+	at10 := res2.Cost.MustEval(map[symexpr.Var]float64{"n": 10})
+	at20 := res2.Cost.MustEval(map[symexpr.Var]float64{"n": 20})
+	if at20 <= at10 {
+		t.Errorf("halved bound: %v", res2.Cost)
+	}
+
+	res3, _, _ := estimate(t, `
+subroutine p(n)
+  integer i, n
+  real a(100000)
+  do i = 1, n**2
+    a(1) = a(1) + 1.0
+  end do
+end
+`, DefaultOptions())
+	if res3.Cost.Degree("n") != 2 {
+		t.Errorf("squared bound: %v", res3.Cost)
+	}
+
+	// Division by a symbolic variable: Laurent term.
+	res4, _, _ := estimate(t, `
+subroutine p(n, b)
+  integer i, n, b
+  real a(100000)
+  do i = 1, n / b
+    a(1) = a(1) + 1.0
+  end do
+end
+`, DefaultOptions())
+	v := res4.Cost.MustEval(map[symexpr.Var]float64{"n": 100, "b": 4})
+	v2 := res4.Cost.MustEval(map[symexpr.Var]float64{"n": 100, "b": 2})
+	if v2 <= v {
+		t.Errorf("Laurent bound shape: %v", res4.Cost)
+	}
+}
+
+// Opaque bounds (array element as loop limit) degrade to registered
+// opaque unknowns rather than errors.
+func TestOpaqueBound(t *testing.T) {
+	res, _, _ := estimate(t, `
+program p
+  integer i
+  integer lim(4)
+  real a(100000)
+  do i = 1, lim(1)
+    a(1) = a(1) + 1.0
+  end do
+end
+`, DefaultOptions())
+	foundOpaque := false
+	for _, u := range res.Unknowns {
+		if u.Kind == "opaque" {
+			foundOpaque = true
+		}
+	}
+	if !foundOpaque {
+		t.Errorf("opaque bound not registered: %+v", res.Unknowns)
+	}
+}
+
+// Cache statistics are exposed and move.
+func TestSegCacheStats(t *testing.T) {
+	cache := NewSegCache()
+	src := `
+program p
+  integer i, n
+  parameter (n = 10)
+  real a(10)
+  do i = 1, n
+    a(i) = 1.0
+  end do
+end
+`
+	prog, _ := source.Parse(src)
+	tbl, _ := sem.Analyze(prog)
+	for pass := 0; pass < 2; pass++ {
+		est := NewWithCache(tbl, machine.NewPOWER1(), DefaultOptions(), cache)
+		if _, err := est.Program(prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := cache.Stats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("stats: %d hits, %d misses", hits, misses)
+	}
+}

@@ -1,0 +1,85 @@
+package aggregate
+
+import (
+	"fmt"
+
+	"perfpredict/internal/machine"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+	"perfpredict/internal/symexpr"
+)
+
+// LibraryEntry is the external-library cost table entry of §3.5: a
+// performance expression parameterized by the routine's formal
+// parameters. At a call site the actual parameters are substituted to
+// obtain a site-specific expression.
+type LibraryEntry struct {
+	// Params are the formal parameter names appearing in Cost.
+	Params []string
+	// Cost is the routine's performance expression over Params (plus
+	// any free unknowns of the routine itself).
+	Cost symexpr.Poly
+}
+
+// LibraryTable maps routine names to their cost entries.
+type LibraryTable map[string]LibraryEntry
+
+// BuildLibraryEntry computes a routine's performance expression from
+// its source — "if source code is available, the performance
+// expressions of the external library routines can be computed and
+// stored in an external library cost table" (§3.5).
+func BuildLibraryEntry(src string, m *machine.Machine, opt Options) (LibraryEntry, error) {
+	prog, err := source.Parse(src)
+	if err != nil {
+		return LibraryEntry{}, err
+	}
+	tbl, err := sem.Analyze(prog)
+	if err != nil {
+		return LibraryEntry{}, err
+	}
+	est := New(tbl, m, opt)
+	res, err := est.Program(prog)
+	if err != nil {
+		return LibraryEntry{}, err
+	}
+	return LibraryEntry{Params: prog.Params, Cost: res.Cost}, nil
+}
+
+// AddLibraryEntry registers a routine under its own name.
+func (t LibraryTable) AddLibraryEntry(name string, e LibraryEntry) { t[name] = e }
+
+// callCost resolves a CALL statement against the library table:
+// actual-parameter expressions are substituted for the formals. Actual
+// parameters that are themselves symbolic flow through; whole-array
+// arguments and non-analyzable actuals leave the corresponding formal
+// as a free unknown of the call site.
+func (e *Estimator) callCost(c *source.CallStmt, loopVars []string) (symexpr.Poly, bool, error) {
+	if e.opt.Library == nil {
+		return symexpr.Poly{}, false, nil
+	}
+	entry, ok := e.opt.Library[c.Name]
+	if !ok {
+		return symexpr.Poly{}, false, nil
+	}
+	cost := entry.Cost
+	for i, formal := range entry.Params {
+		fv := symexpr.Var(formal)
+		if cost.Degree(fv) == 0 && cost.MinDegree(fv) == 0 {
+			continue // formal does not appear in the expression
+		}
+		if i >= len(c.Args) {
+			return symexpr.Poly{}, false, fmt.Errorf("%s: call %s: missing actual for %q", c.Pos, c.Name, formal)
+		}
+		actual := e.exprPoly(c.Args[i], loopVars)
+		sub, err := cost.Substitute(fv, actual)
+		if err != nil {
+			return symexpr.Poly{}, false, fmt.Errorf("%s: call %s: %w", c.Pos, c.Name, err)
+		}
+		cost = sub
+	}
+	// Note the remaining unknowns for the caller.
+	for _, v := range cost.Vars() {
+		e.noteVar(v, "bound", fmt.Sprintf("from call %s", c.Name))
+	}
+	return cost, true, nil
+}

@@ -1,0 +1,185 @@
+package aggregate
+
+import (
+	"testing"
+
+	"perfpredict/internal/machine"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+	"perfpredict/internal/symexpr"
+)
+
+const daxpyLib = `
+subroutine daxpy(n, alpha)
+  integer i, n
+  real alpha, x(4000), y(4000)
+  do i = 1, n
+    y(i) = y(i) + alpha * x(i)
+  end do
+end
+`
+
+func TestBuildLibraryEntry(t *testing.T) {
+	e, err := BuildLibraryEntry(daxpyLib, machine.NewPOWER1(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Params) != 2 || e.Params[0] != "n" {
+		t.Errorf("params: %v", e.Params)
+	}
+	if e.Cost.Degree("n") != 1 {
+		t.Errorf("cost: %v", e.Cost)
+	}
+}
+
+func TestCallSiteSubstitution(t *testing.T) {
+	lib := LibraryTable{}
+	entry, err := BuildLibraryEntry(daxpyLib, machine.NewPOWER1(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib.AddLibraryEntry("daxpy", entry)
+
+	// Caller invokes daxpy with actual n = 2*m (symbolic) and then with
+	// a constant.
+	src := `
+subroutine caller(m)
+  integer m, n2
+  real a
+  a = 1.5
+  n2 = 2 * m
+  call daxpy(n2, a)
+  call daxpy(100, a)
+end
+`
+	p, err := source.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := sem.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Library = lib
+	est := New(tbl, machine.NewPOWER1(), opt)
+	res, err := est.Program(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cost must be linear in the caller's unknown(s): actual n2 is
+	// an opaque/bound variable; at minimum the constant call's cost is
+	// folded in and the whole thing evaluates.
+	nominal := map[symexpr.Var]float64{}
+	for _, v := range res.Cost.Vars() {
+		nominal[v] = 50
+	}
+	total := res.Cost.MustEval(nominal)
+	// Constant call alone: C_daxpy(100) ≈ 3.5*100+5 = 355 plus linkage.
+	c100 := entry.Cost.MustSubstitute("n", symexpr.Const(100))
+	base, _ := c100.IsConst()
+	if total < base {
+		t.Errorf("caller total %v below the constant call's %v", total, base)
+	}
+	// Substituted expression reacts to the symbolic actual.
+	hi := map[symexpr.Var]float64{}
+	for v := range nominal {
+		hi[v] = 500
+	}
+	if res.Cost.MustEval(hi) <= total {
+		t.Errorf("cost not increasing in the symbolic actual: %v", res.Cost)
+	}
+}
+
+func TestCallInsideLoopMultiplies(t *testing.T) {
+	lib := LibraryTable{}
+	entry, err := BuildLibraryEntry(daxpyLib, machine.NewPOWER1(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib.AddLibraryEntry("daxpy", entry)
+	src := `
+subroutine caller(m)
+  integer i, m
+  real a
+  a = 2.0
+  do i = 1, m
+    call daxpy(64, a)
+  end do
+end
+`
+	p, _ := source.Parse(src)
+	tbl, err := sem.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Library = lib
+	est := New(tbl, machine.NewPOWER1(), opt)
+	res, err := est.Program(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Degree("m") != 1 {
+		t.Fatalf("cost: %v", res.Cost)
+	}
+	// Per-iteration coefficient ≈ C_daxpy(64) + linkage.
+	perIter := res.Cost.CoeffOf("m", 1)
+	c, ok := perIter.IsConst()
+	if !ok {
+		t.Fatalf("per-iter not constant: %v", perIter)
+	}
+	inner := entry.Cost.MustSubstitute("n", symexpr.Const(64))
+	want, _ := inner.IsConst()
+	if c < want || c > want+20 {
+		t.Errorf("per-iteration %v vs routine cost %v", c, want)
+	}
+}
+
+func TestUnknownCalleeStillLinkageOnly(t *testing.T) {
+	src := `
+program p
+  real a(10)
+  integer n
+  call mystery(a, n)
+end
+`
+	p, _ := source.Parse(src)
+	tbl, err := sem.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Library = LibraryTable{} // table present but empty
+	est := New(tbl, machine.NewPOWER1(), opt)
+	res, err := est.Program(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := res.Cost.IsConst()
+	if !ok || c <= 0 || c > 50 {
+		t.Errorf("unknown call cost: %v", res.Cost)
+	}
+}
+
+func TestCallCostMissingActual(t *testing.T) {
+	lib := LibraryTable{"f": {Params: []string{"n"}, Cost: symexpr.NewVar("n")}}
+	src := `
+program p
+  real x
+  call f()
+  x = 1.0
+end
+`
+	p, _ := source.Parse(src)
+	tbl, err := sem.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Library = lib
+	est := New(tbl, machine.NewPOWER1(), opt)
+	if _, err := est.Program(p); err == nil {
+		t.Error("missing actual parameter accepted")
+	}
+}

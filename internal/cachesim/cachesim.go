@@ -1,0 +1,150 @@
+// Package cachesim is a set-associative cache and TLB simulator used as
+// the ground truth for the memory-access cost model (§2.3 prices cache
+// misses, TLB misses and page faults; this simulator validates the
+// cache-line access counting of package cachemodel).
+package cachesim
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	// Size is total capacity in bytes.
+	Size int64
+	// LineSize is the block size in bytes.
+	LineSize int64
+	// Assoc is the set associativity (0 or negative = fully
+	// associative).
+	Assoc int
+}
+
+// POWER1D is the RS/6000 Model 530-class data cache: 64 KiB,
+// 128-byte lines, 4-way.
+func POWER1D() Config { return Config{Size: 64 << 10, LineSize: 128, Assoc: 4} }
+
+// POWER1TLB approximates the data TLB: 128 entries over 4 KiB pages,
+// 2-way.
+func POWER1TLB() Config { return Config{Size: 128 * 4096, LineSize: 4096, Assoc: 2} }
+
+// Cache simulates one level with LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     int
+	assoc    int
+	tags     [][]int64 // per set, MRU first
+	accesses int64
+	misses   int64
+}
+
+// New builds a cache; the configuration must be internally consistent.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Size <= 0 || cfg.LineSize <= 0 || cfg.Size%cfg.LineSize != 0 {
+		return nil, fmt.Errorf("cachesim: bad geometry %+v", cfg)
+	}
+	lines := cfg.Size / cfg.LineSize
+	assoc := cfg.Assoc
+	if assoc <= 0 || int64(assoc) > lines {
+		assoc = int(lines)
+	}
+	sets := lines / int64(assoc)
+	if sets*int64(assoc) != lines {
+		return nil, fmt.Errorf("cachesim: associativity %d does not divide %d lines", assoc, lines)
+	}
+	c := &Cache{cfg: cfg, sets: int(sets), assoc: assoc}
+	c.tags = make([][]int64, sets)
+	return c, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access touches a byte address and reports whether it hit.
+func (c *Cache) Access(addr int64) bool {
+	c.accesses++
+	line := addr / c.cfg.LineSize
+	set := int(line % int64(c.sets))
+	ways := c.tags[set]
+	for i, tag := range ways {
+		if tag == line {
+			// Move to MRU.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = line
+			return true
+		}
+	}
+	c.misses++
+	if len(ways) < c.assoc {
+		ways = append(ways, 0)
+	}
+	copy(ways[1:], ways)
+	ways[0] = line
+	c.tags[set] = ways
+	return false
+}
+
+// Stats returns accesses and misses so far.
+func (c *Cache) Stats() (accesses, misses int64) { return c.accesses, c.misses }
+
+// MissRatio returns misses/accesses (0 when idle).
+func (c *Cache) MissRatio() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	c.tags = make([][]int64, c.sets)
+	c.accesses, c.misses = 0, 0
+}
+
+// Hierarchy bundles a data cache and a TLB sharing one access stream.
+type Hierarchy struct {
+	L1  *Cache
+	TLB *Cache
+	// Penalties in cycles.
+	L1Miss  int64
+	TLBMiss int64
+}
+
+// NewPOWER1Hierarchy builds the default POWER1-like memory system with
+// the paper-era penalties (≈15-cycle line fill, ≈36-cycle TLB reload).
+func NewPOWER1Hierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1:      MustNew(POWER1D()),
+		TLB:     MustNew(POWER1TLB()),
+		L1Miss:  15,
+		TLBMiss: 36,
+	}
+}
+
+// Access touches an address through both structures and returns the
+// stall cycles incurred.
+func (h *Hierarchy) Access(addr int64) int64 {
+	var stall int64
+	if !h.L1.Access(addr) {
+		stall += h.L1Miss
+	}
+	if h.TLB != nil && !h.TLB.Access(addr) {
+		stall += h.TLBMiss
+	}
+	return stall
+}
+
+// MemoryCycles returns the total stall cycles implied by the recorded
+// misses.
+func (h *Hierarchy) MemoryCycles() int64 {
+	_, l1 := h.L1.Stats()
+	total := l1 * h.L1Miss
+	if h.TLB != nil {
+		_, tm := h.TLB.Stats()
+		total += tm * h.TLBMiss
+	}
+	return total
+}

@@ -1,0 +1,111 @@
+package cachesim
+
+import "testing"
+
+func TestBadGeometry(t *testing.T) {
+	for _, cfg := range []Config{
+		{Size: 0, LineSize: 64},
+		{Size: 100, LineSize: 64}, // not divisible
+		{Size: -1, LineSize: 64},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestColdMisses(t *testing.T) {
+	c := MustNew(Config{Size: 1024, LineSize: 64, Assoc: 2})
+	for i := int64(0); i < 16; i++ {
+		if c.Access(i * 64) {
+			t.Errorf("cold access %d hit", i)
+		}
+	}
+	acc, miss := c.Stats()
+	if acc != 16 || miss != 16 {
+		t.Errorf("stats: %d/%d", acc, miss)
+	}
+}
+
+func TestSpatialHits(t *testing.T) {
+	c := MustNew(Config{Size: 1024, LineSize: 64, Assoc: 2})
+	c.Access(0)
+	for off := int64(8); off < 64; off += 8 {
+		if !c.Access(off) {
+			t.Errorf("same-line access at %d missed", off)
+		}
+	}
+	if r := c.MissRatio(); r != 1.0/8 {
+		t.Errorf("miss ratio = %v", r)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// 2-way, 2 sets: lines 0, 2, 4 map to set 0.
+	c := MustNew(Config{Size: 256, LineSize: 64, Assoc: 2})
+	c.Access(0 * 64)
+	c.Access(2 * 64)
+	c.Access(0 * 64) // 0 becomes MRU
+	c.Access(4 * 64) // evicts 2 (LRU)
+	if !c.Access(0 * 64) {
+		t.Error("line 0 should have survived")
+	}
+	if c.Access(2 * 64) {
+		t.Error("line 2 should have been evicted")
+	}
+}
+
+func TestFullyAssociative(t *testing.T) {
+	c := MustNew(Config{Size: 512, LineSize: 64, Assoc: 0})
+	// 8 lines capacity: touch 8, all hit on second pass.
+	for i := int64(0); i < 8; i++ {
+		c.Access(i * 64 * 9973) // scattered addresses
+	}
+	for i := int64(0); i < 8; i++ {
+		if !c.Access(i * 64 * 9973) {
+			t.Errorf("fully associative line %d evicted early", i)
+		}
+	}
+}
+
+func TestCapacityMissesOnStreaming(t *testing.T) {
+	c := MustNew(POWER1D())
+	lines := (64 << 10) / 128
+	// Stream 4× capacity twice: second pass must miss everywhere.
+	for pass := 0; pass < 2; pass++ {
+		for i := int64(0); i < int64(lines)*4; i++ {
+			c.Access(i * 128)
+		}
+	}
+	_, misses := c.Stats()
+	if misses != int64(lines)*8 {
+		t.Errorf("streaming misses = %d, want %d", misses, lines*8)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := MustNew(Config{Size: 1024, LineSize: 64, Assoc: 2})
+	c.Access(0)
+	c.Reset()
+	acc, miss := c.Stats()
+	if acc != 0 || miss != 0 {
+		t.Error("reset did not clear stats")
+	}
+	if c.Access(0) {
+		t.Error("reset did not clear contents")
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	h := NewPOWER1Hierarchy()
+	stall := h.Access(0)
+	if stall != 15+36 {
+		t.Errorf("cold stall = %d, want 51", stall)
+	}
+	if s := h.Access(8); s != 0 {
+		t.Errorf("warm stall = %d", s)
+	}
+	if h.MemoryCycles() != 51 {
+		t.Errorf("memory cycles = %d", h.MemoryCycles())
+	}
+}

@@ -1,0 +1,806 @@
+// Package interp executes F-lite programs. It serves two roles in the
+// reproduction:
+//
+//  1. a semantic reference — programs compute real values, so
+//     transformation legality and kernel correctness can be checked;
+//  2. a dynamic timing reference — each executed statement is lowered
+//     once (imitating the back end, exactly as the predictor's
+//     translation module does) and the resulting operations are
+//     streamed, with concretized memory addresses and renamed
+//     registers, into the in-order pipeline simulator. The resulting
+//     cycle count substitutes for the paper's planned "actual run-time"
+//     measurements on RS/6000 hardware.
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"perfpredict/internal/ir"
+	"perfpredict/internal/lower"
+	"perfpredict/internal/machine"
+	"perfpredict/internal/pipesim"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+)
+
+// Options control a run.
+type Options struct {
+	// Machine enables timing: executed operations are fed to a pipeline
+	// of this machine. Nil runs values-only.
+	Machine *machine.Machine
+	// LowerOpt configures the back-end imitation used for the trace.
+	// The zero value means the full default back-end (matching what the
+	// predictor assumes); to ablate individual optimizations, set at
+	// least one flag.
+	LowerOpt lower.Options
+	// MaxOps aborts runaway executions (0 = default 50M statements).
+	MaxOps int64
+	// MemTrace, when set, receives every array element access (base
+	// symbol, flat element index, write flag) — the address stream the
+	// cache simulator consumes.
+	MemTrace func(base string, index int64, write bool)
+	// ScheduleWindow batches the dynamic trace into windows of this
+	// many instructions, list-scheduling each before it reaches the
+	// pipeline — emulating the code generator's unrolling plus
+	// instruction scheduling across iterations (§2.2.2: "it might
+	// unroll the loop in the code generation phase"). 0 uses the
+	// default (48); 1 feeds strictly in order (ablation).
+	ScheduleWindow int
+}
+
+// Runner executes one program unit.
+type Runner struct {
+	prog *source.Program
+	tbl  *sem.Table
+	opt  Options
+
+	scalars map[string]float64
+	arrays  map[string][]float64
+	dims    map[string][]int64
+
+	pipe    *pipesim.Pipeline
+	trans   *lower.Translator
+	lowered map[source.Stmt]*cachedSeg
+	condLow map[source.Expr]*cachedSeg
+	regBase ir.Reg
+	steps   int64
+	maxOps  int64
+	// preDone tracks which cached segments already charged their
+	// one-time (hoisted) cost.
+	preDone map[*cachedSeg]bool
+	// promo holds, per active segment, the dynamic register currently
+	// carrying each promoted location's value (sum-reduction chains).
+	promo  map[*cachedSeg]map[string]ir.Reg
+	issues int64
+	// window buffers renamed trace instructions for list scheduling
+	// before issue.
+	window  ir.Block
+	winSize int
+}
+
+type cachedSeg struct {
+	lw     *lower.Lowered
+	stride ir.Reg
+	// inAddr maps the static per-entry register of each promoted
+	// location to its address; outAddr maps the static final-value
+	// register. Used to chain promoted values across iterations.
+	inAddr  map[ir.Reg]string
+	outAddr map[ir.Reg]string
+}
+
+// New prepares a runner; dummy arguments and arrays with symbolic
+// extents must be supplied via SetScalar / SetArray before Run.
+func New(prog *source.Program, tbl *sem.Table, opt Options) *Runner {
+	if opt.MaxOps == 0 {
+		opt.MaxOps = 50_000_000
+	}
+	if opt.LowerOpt == (lower.Options{}) {
+		opt.LowerOpt = lower.DefaultOptions()
+	}
+	if opt.ScheduleWindow == 0 {
+		opt.ScheduleWindow = 48
+	}
+	r := &Runner{
+		prog:    prog,
+		tbl:     tbl,
+		opt:     opt,
+		winSize: opt.ScheduleWindow,
+		scalars: map[string]float64{},
+		arrays:  map[string][]float64{},
+		dims:    map[string][]int64{},
+		lowered: map[source.Stmt]*cachedSeg{},
+		condLow: map[source.Expr]*cachedSeg{},
+		preDone: map[*cachedSeg]bool{},
+		promo:   map[*cachedSeg]map[string]ir.Reg{},
+		maxOps:  opt.MaxOps,
+	}
+	if opt.Machine != nil {
+		r.pipe = pipesim.NewPipeline(opt.Machine)
+		r.trans = lower.New(tbl, opt.Machine, opt.LowerOpt)
+	}
+	return r
+}
+
+// SetScalar sets a scalar (or dummy argument) before Run.
+func (r *Runner) SetScalar(name string, v float64) { r.scalars[name] = v }
+
+// Scalar reads a scalar after Run.
+func (r *Runner) Scalar(name string) float64 { return r.scalars[name] }
+
+// SetArray installs array contents (row-major over the declared dims).
+func (r *Runner) SetArray(name string, data []float64) { r.arrays[name] = data }
+
+// Array returns array contents after Run.
+func (r *Runner) Array(name string) []float64 { return r.arrays[name] }
+
+// Cycles returns the simulated dynamic cycle count (0 when timing is
+// off).
+func (r *Runner) Cycles() int64 {
+	if r.pipe == nil {
+		return 0
+	}
+	if err := r.flushWindow(); err != nil {
+		return -1
+	}
+	return r.pipe.Drain()
+}
+
+// emit buffers one renamed instruction; full windows are
+// list-scheduled and issued.
+func (r *Runner) emit(in ir.Instr) error {
+	if r.winSize <= 1 {
+		_, err := r.pipe.Issue(in)
+		return err
+	}
+	r.window.Instrs = append(r.window.Instrs, in)
+	if len(r.window.Instrs) >= r.winSize {
+		return r.flushWindow()
+	}
+	return nil
+}
+
+// flushWindow schedules and issues the buffered trace window.
+func (r *Runner) flushWindow() error {
+	if len(r.window.Instrs) == 0 {
+		return nil
+	}
+	sched := pipesim.Schedule(r.opt.Machine, &r.window)
+	r.window.Instrs = r.window.Instrs[:0]
+	for _, in := range sched.Instrs {
+		if _, err := r.pipe.Issue(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run allocates arrays, seeds parameters, and executes the body.
+func (r *Runner) Run() error {
+	for _, s := range r.tbl.Symbols() {
+		if s.IsConst {
+			r.scalars[s.Name] = s.ConstVal
+			continue
+		}
+		if !s.IsArray() {
+			if _, ok := r.scalars[s.Name]; !ok {
+				r.scalars[s.Name] = 0
+			}
+			continue
+		}
+		size := int64(1)
+		dims := make([]int64, len(s.Dims))
+		for i, d := range s.Dims {
+			if d < 0 {
+				// Symbolic extent: resolve from a scalar of the bound
+				// expression if possible.
+				v, err := r.evalInt(s.DimExprs[i])
+				if err != nil {
+					return fmt.Errorf("array %s: cannot resolve extent: %w", s.Name, err)
+				}
+				d = v
+			}
+			dims[i] = d
+			size *= d
+		}
+		r.dims[s.Name] = dims
+		if existing, ok := r.arrays[s.Name]; !ok || int64(len(existing)) < size {
+			data := make([]float64, size)
+			copy(data, existing)
+			r.arrays[s.Name] = data
+		}
+	}
+	return r.stmts(r.prog.Body, nil)
+}
+
+func (r *Runner) step() error {
+	r.steps++
+	if r.steps > r.maxOps {
+		return fmt.Errorf("interp: exceeded %d statements (runaway loop?)", r.maxOps)
+	}
+	return nil
+}
+
+// stmts executes a statement list, charging straight-line runs to the
+// pipeline as whole segments.
+func (r *Runner) stmts(list []source.Stmt, loopVars []string) error {
+	i := 0
+	for i < len(list) {
+		// Group a maximal straight-line run.
+		j := i
+		for j < len(list) && isStraight(list[j]) {
+			j++
+		}
+		if j > i {
+			if err := r.straightRun(list[i:j], loopVars); err != nil {
+				return err
+			}
+			i = j
+			continue
+		}
+		switch x := list[i].(type) {
+		case *source.DoLoop:
+			if err := r.doLoop(x, loopVars); err != nil {
+				return err
+			}
+		case *source.IfStmt:
+			if err := r.ifStmt(x, loopVars); err != nil {
+				return err
+			}
+		case *source.ReturnStmt:
+			return nil
+		default:
+			return fmt.Errorf("%s: cannot execute %T", list[i].StmtPos(), list[i])
+		}
+		i++
+	}
+	return nil
+}
+
+func isStraight(s source.Stmt) bool {
+	switch s.(type) {
+	case *source.Assign, *source.CallStmt, *source.ContinueStmt:
+		return true
+	default:
+		return false
+	}
+}
+
+// straightRun executes assignments for value and charges the lowered
+// block for time.
+func (r *Runner) straightRun(stmts []source.Stmt, loopVars []string) error {
+	if err := r.step(); err != nil {
+		return err
+	}
+	// Values.
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *source.Assign:
+			if err := r.execAssign(x); err != nil {
+				return err
+			}
+		case *source.CallStmt:
+			// External calls have no value semantics in the
+			// interpreter; they cost linkage time only.
+		}
+	}
+	// Timing.
+	if r.pipe == nil {
+		return nil
+	}
+	seg, err := r.segment(stmts[0], func() (*lower.Lowered, error) {
+		return r.trans.Body(stmts, loopVars)
+	})
+	if err != nil {
+		return err
+	}
+	return r.charge(seg)
+}
+
+// segment returns the cached lowering keyed by the first statement.
+func (r *Runner) segment(key source.Stmt, build func() (*lower.Lowered, error)) (*cachedSeg, error) {
+	if seg, ok := r.lowered[key]; ok {
+		return seg, nil
+	}
+	lw, err := build()
+	if err != nil {
+		return nil, err
+	}
+	seg := &cachedSeg{lw: lw, stride: maxReg(lw) + 1,
+		inAddr: map[ir.Reg]string{}, outAddr: map[ir.Reg]string{}}
+	for _, pv := range lw.Promoted {
+		if pv.InReg != ir.NoReg {
+			seg.inAddr[pv.InReg] = pv.Addr
+		}
+		if pv.OutReg != ir.NoReg {
+			seg.outAddr[pv.OutReg] = pv.Addr
+		}
+	}
+	r.lowered[key] = seg
+	return seg, nil
+}
+
+func maxReg(lw *lower.Lowered) ir.Reg {
+	m := lw.Body.MaxReg()
+	for _, b := range []*ir.Block{lw.Pre, lw.PerEntry, lw.Post} {
+		if b == nil {
+			continue
+		}
+		if p := b.MaxReg(); p > m {
+			m = p
+		}
+	}
+	if m < 0 {
+		m = 0
+	}
+	return m
+}
+
+// charge feeds one dynamic instance of the segment to the pipeline,
+// renaming registers and concretizing memory addresses.
+func (r *Runner) charge(seg *cachedSeg) error {
+	if !r.preDone[seg] {
+		// The preheader shares the register numbering of the first body
+		// instance, so hoisted values flow into their first uses.
+		r.preDone[seg] = true
+		if err := r.feed(seg.lw.Pre, seg, nil); err != nil {
+			return err
+		}
+	}
+	pm := r.promo[seg]
+	if err := r.feed(seg.lw.Body, seg, seg.inAddr); err != nil {
+		return err
+	}
+	// The final promoted values of this instance carry into the next
+	// iteration's reads.
+	if pm != nil {
+		for outReg, addr := range seg.outAddr {
+			pm[addr] = outReg + r.regBase
+		}
+	}
+	r.regBase += seg.stride
+	r.issues++
+	if r.issues%4096 == 0 {
+		r.pipe.Prune()
+	}
+	if r.regBase > 1<<30 {
+		// Wrap the rename base: with in-order issue and a freshly
+		// pruned scoreboard, old register numbers can no longer carry
+		// stale timestamps that matter.
+		r.pipe.Prune()
+		r.regBase = 0
+	}
+	return nil
+}
+
+// feed streams one block instance into the pipeline; resolve maps
+// static promoted registers to addresses whose current dynamic
+// register is taken from the segment's promo map.
+func (r *Runner) feed(b *ir.Block, seg *cachedSeg, resolve map[ir.Reg]string) error {
+	pm := r.promo[seg]
+	for _, in := range b.Instrs {
+		c := in
+		if len(in.Srcs) > 0 {
+			c.Srcs = make([]ir.Reg, len(in.Srcs))
+			for k, s := range in.Srcs {
+				if s == ir.NoReg {
+					c.Srcs[k] = ir.NoReg
+					continue
+				}
+				if resolve != nil && pm != nil {
+					if addr, ok := resolve[s]; ok {
+						if dyn, ok2 := pm[addr]; ok2 {
+							c.Srcs[k] = dyn
+							continue
+						}
+					}
+				}
+				c.Srcs[k] = s + r.regBase
+			}
+		}
+		if in.Dst != ir.NoReg {
+			c.Dst = in.Dst + r.regBase
+		}
+		if in.Op.IsMem() && in.RefID != 0 {
+			ref := seg.lw.Refs[in.RefID]
+			if ref != nil {
+				idx, err := r.flatIndex(ref)
+				if err != nil {
+					return err
+				}
+				c.Addr = ref.Name + "@" + strconv.FormatInt(idx, 10)
+			}
+		}
+		if err := r.emit(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// doLoop executes a DO loop, charging loop-control overhead per
+// iteration and the bound computation once.
+func (r *Runner) doLoop(l *source.DoLoop, loopVars []string) error {
+	lb, err := r.evalInt(l.Lb)
+	if err != nil {
+		return err
+	}
+	ub, err := r.evalInt(l.Ub)
+	if err != nil {
+		return err
+	}
+	step := int64(1)
+	if l.Step != nil {
+		if step, err = r.evalInt(l.Step); err != nil {
+			return err
+		}
+		if step == 0 {
+			return fmt.Errorf("%s: zero loop step", l.Pos)
+		}
+	}
+	inner := append(append([]string{}, loopVars...), l.Var)
+	ctl := lower.LoopOverhead()
+	var segs []*cachedSeg
+	if r.pipe != nil {
+		var err error
+		segs, err = r.bodySegments(l.Body, inner)
+		if err != nil {
+			return err
+		}
+		for _, seg := range segs {
+			pm := map[string]ir.Reg{}
+			r.promo[seg] = pm
+			if len(seg.lw.PerEntry.Instrs) > 0 {
+				if err := r.feed(seg.lw.PerEntry, seg, nil); err != nil {
+					return err
+				}
+				for inReg, addr := range seg.inAddr {
+					pm[addr] = inReg + r.regBase
+				}
+				r.regBase += seg.stride
+			}
+		}
+	}
+	v := lb
+	for ; (step > 0 && v <= ub) || (step < 0 && v >= ub); v += step {
+		if err := r.step(); err != nil {
+			return err
+		}
+		r.scalars[l.Var] = float64(v)
+		if err := r.stmts(l.Body, inner); err != nil {
+			return err
+		}
+		if r.pipe != nil {
+			if err := r.feedCtl(ctl); err != nil {
+				return err
+			}
+		}
+	}
+	// Fortran semantics: after the loop the variable holds the first
+	// value that failed the bound test.
+	r.scalars[l.Var] = float64(v)
+	// Flush promoted values back to memory (post stores) and retire the
+	// activation's promo maps.
+	for _, seg := range segs {
+		if len(seg.lw.Post.Instrs) > 0 {
+			if err := r.feed(seg.lw.Post, seg, seg.outAddr); err != nil {
+				return err
+			}
+			r.regBase += seg.stride
+		}
+		delete(r.promo, seg)
+	}
+	return nil
+}
+
+// bodySegments lowers (or fetches) the straight-line runs directly in a
+// loop body, so their per-entry and post blocks can be charged at
+// activation boundaries.
+func (r *Runner) bodySegments(list []source.Stmt, loopVars []string) ([]*cachedSeg, error) {
+	var out []*cachedSeg
+	i := 0
+	for i < len(list) {
+		j := i
+		for j < len(list) && isStraight(list[j]) {
+			j++
+		}
+		if j > i {
+			run := list[i:j]
+			seg, err := r.segment(run[0], func() (*lower.Lowered, error) {
+				return r.trans.Body(run, loopVars)
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, seg)
+			i = j
+			continue
+		}
+		i++
+	}
+	return out, nil
+}
+
+func (r *Runner) feedCtl(ctl *ir.Block) error {
+	for _, in := range ctl.Instrs {
+		c := in
+		c.Srcs = make([]ir.Reg, len(in.Srcs))
+		for k, s := range in.Srcs {
+			c.Srcs[k] = s + r.regBase
+		}
+		if in.Dst != ir.NoReg {
+			c.Dst = in.Dst + r.regBase
+		}
+		if err := r.emit(c); err != nil {
+			return err
+		}
+	}
+	r.regBase += 8
+	return nil
+}
+
+func (r *Runner) ifStmt(s *source.IfStmt, loopVars []string) error {
+	if err := r.step(); err != nil {
+		return err
+	}
+	taken, err := r.evalCond(s.Cond)
+	if err != nil {
+		return err
+	}
+	if r.pipe != nil {
+		seg, err := r.condSegment(s.Cond, loopVars)
+		if err != nil {
+			return err
+		}
+		if err := r.charge(seg); err != nil {
+			return err
+		}
+	}
+	if taken {
+		return r.stmts(s.Then, loopVars)
+	}
+	return r.stmts(s.Else, loopVars)
+}
+
+func (r *Runner) condSegment(cond source.Expr, loopVars []string) (*cachedSeg, error) {
+	if seg, ok := r.condLow[cond]; ok {
+		return seg, nil
+	}
+	lw, err := r.trans.Condition(cond, loopVars)
+	if err != nil {
+		return nil, err
+	}
+	seg := &cachedSeg{lw: lw, stride: maxReg(lw) + 1}
+	r.condLow[cond] = seg
+	return seg, nil
+}
+
+// execAssign updates interpreter state.
+func (r *Runner) execAssign(a *source.Assign) error {
+	v, err := r.eval(a.RHS)
+	if err != nil {
+		return err
+	}
+	switch lhs := a.LHS.(type) {
+	case *source.VarRef:
+		if sym := r.tbl.Lookup(lhs.Name); sym != nil && sym.Type == source.TypeInteger {
+			v = math.Trunc(v)
+		}
+		r.scalars[lhs.Name] = v
+		return nil
+	case *source.ArrayRef:
+		idx, err := r.flatIndex(lhs)
+		if err != nil {
+			return err
+		}
+		data := r.arrays[lhs.Name]
+		if idx < 0 || idx >= int64(len(data)) {
+			return fmt.Errorf("%s: index out of range for %s (flat %d, size %d)", lhs.Pos, lhs.Name, idx, len(data))
+		}
+		if sym := r.tbl.Lookup(lhs.Name); sym != nil && sym.Type == source.TypeInteger {
+			v = math.Trunc(v)
+		}
+		if r.opt.MemTrace != nil {
+			r.opt.MemTrace(lhs.Name, idx, true)
+		}
+		data[idx] = v
+		return nil
+	default:
+		return fmt.Errorf("%s: bad assignment target", a.Pos)
+	}
+}
+
+// flatIndex computes the 0-based flattened index of an array element
+// using Fortran column-major order with 1-based subscripts.
+func (r *Runner) flatIndex(ref *source.ArrayRef) (int64, error) {
+	dims, ok := r.dims[ref.Name]
+	if !ok {
+		return 0, fmt.Errorf("%s: array %s has no resolved dimensions", ref.Pos, ref.Name)
+	}
+	var idx, stride int64 = 0, 1
+	for d, ix := range ref.Idx {
+		v, err := r.evalInt(ix)
+		if err != nil {
+			return 0, err
+		}
+		idx += (v - 1) * stride
+		stride *= dims[d]
+	}
+	return idx, nil
+}
+
+func (r *Runner) evalInt(e source.Expr) (int64, error) {
+	v, err := r.eval(e)
+	if err != nil {
+		return 0, err
+	}
+	return int64(v), nil
+}
+
+func (r *Runner) evalCond(e source.Expr) (bool, error) {
+	switch x := e.(type) {
+	case *source.BinExpr:
+		if x.Kind.IsRelational() {
+			l, err := r.eval(x.L)
+			if err != nil {
+				return false, err
+			}
+			rv, err := r.eval(x.R)
+			if err != nil {
+				return false, err
+			}
+			switch x.Kind {
+			case source.BinLT:
+				return l < rv, nil
+			case source.BinLE:
+				return l <= rv, nil
+			case source.BinGT:
+				return l > rv, nil
+			case source.BinGE:
+				return l >= rv, nil
+			case source.BinEQ:
+				return l == rv, nil
+			case source.BinNE:
+				return l != rv, nil
+			}
+		}
+		if x.Kind == source.BinAnd {
+			l, err := r.evalCond(x.L)
+			if err != nil || !l {
+				return false, err
+			}
+			return r.evalCond(x.R)
+		}
+		if x.Kind == source.BinOr {
+			l, err := r.evalCond(x.L)
+			if err != nil || l {
+				return l, err
+			}
+			return r.evalCond(x.R)
+		}
+		return false, fmt.Errorf("%s: not a condition", x.Pos)
+	case *source.UnExpr:
+		if x.Neg {
+			return false, fmt.Errorf("%s: arithmetic in condition", x.Pos)
+		}
+		v, err := r.evalCond(x.X)
+		return !v, err
+	default:
+		return false, fmt.Errorf("condition %T is not logical", e)
+	}
+}
+
+func (r *Runner) eval(e source.Expr) (float64, error) {
+	switch x := e.(type) {
+	case *source.NumLit:
+		return x.Value, nil
+	case *source.VarRef:
+		if v, ok := r.scalars[x.Name]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("%s: unbound scalar %q", x.Pos, x.Name)
+	case *source.ArrayRef:
+		idx, err := r.flatIndex(x)
+		if err != nil {
+			return 0, err
+		}
+		data := r.arrays[x.Name]
+		if idx < 0 || idx >= int64(len(data)) {
+			return 0, fmt.Errorf("%s: index out of range for %s (flat %d, size %d)", x.Pos, x.Name, idx, len(data))
+		}
+		if r.opt.MemTrace != nil {
+			r.opt.MemTrace(x.Name, idx, false)
+		}
+		return data[idx], nil
+	case *source.UnExpr:
+		if !x.Neg {
+			return 0, fmt.Errorf("%s: .not. in arithmetic", x.Pos)
+		}
+		v, err := r.eval(x.X)
+		return -v, err
+	case *source.IntrinsicCall:
+		args := make([]float64, len(x.Args))
+		for i, a := range x.Args {
+			v, err := r.eval(a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		return evalIntrinsic(x.Name, args)
+	case *source.BinExpr:
+		l, err := r.eval(x.L)
+		if err != nil {
+			return 0, err
+		}
+		rv, err := r.eval(x.R)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Kind {
+		case source.BinAdd:
+			return l + rv, nil
+		case source.BinSub:
+			return l - rv, nil
+		case source.BinMul:
+			return l * rv, nil
+		case source.BinDiv:
+			if rv == 0 {
+				return 0, fmt.Errorf("%s: division by zero", x.Pos)
+			}
+			if lt, e1 := r.tbl.TypeOf(x.L); e1 == nil && lt == source.TypeInteger {
+				if rt, e2 := r.tbl.TypeOf(x.R); e2 == nil && rt == source.TypeInteger {
+					return math.Trunc(l / rv), nil
+				}
+			}
+			return l / rv, nil
+		case source.BinPow:
+			return math.Pow(l, rv), nil
+		default:
+			return 0, fmt.Errorf("%s: operator %v in arithmetic", x.Pos, x.Kind)
+		}
+	default:
+		return 0, fmt.Errorf("cannot evaluate %T", e)
+	}
+}
+
+func evalIntrinsic(name string, args []float64) (float64, error) {
+	switch name {
+	case "sqrt":
+		return math.Sqrt(args[0]), nil
+	case "abs":
+		return math.Abs(args[0]), nil
+	case "min":
+		v := args[0]
+		for _, a := range args[1:] {
+			v = math.Min(v, a)
+		}
+		return v, nil
+	case "max":
+		v := args[0]
+		for _, a := range args[1:] {
+			v = math.Max(v, a)
+		}
+		return v, nil
+	case "mod":
+		if args[1] == 0 {
+			return 0, fmt.Errorf("mod by zero")
+		}
+		return math.Mod(args[0], args[1]), nil
+	case "int":
+		return math.Trunc(args[0]), nil
+	case "real", "dble":
+		return args[0], nil
+	case "exp":
+		return math.Exp(args[0]), nil
+	case "log":
+		return math.Log(args[0]), nil
+	case "sin":
+		return math.Sin(args[0]), nil
+	case "cos":
+		return math.Cos(args[0]), nil
+	default:
+		return 0, fmt.Errorf("unknown intrinsic %q", name)
+	}
+}

@@ -1,0 +1,129 @@
+package interp
+
+import (
+	"testing"
+
+	"perfpredict/internal/machine"
+)
+
+// The trace scheduling window (codegen-unrolling stand-in) must only
+// ever help, and disabling it must reproduce strict in-order feeding.
+func TestScheduleWindowAblation(t *testing.T) {
+	src := `
+program horner
+  integer i, n
+  parameter (n = 200)
+  real x(200), y(200), c0, c1, c2
+  c0 = 1.0
+  c1 = 0.5
+  c2 = 0.25
+  do i = 1, n
+    y(i) = (c2 * x(i) + c1) * x(i) + c0
+  end do
+end
+`
+	run := func(window int) int64 {
+		r := runner(t, src, Options{Machine: machine.NewPOWER1(), ScheduleWindow: window})
+		if err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return r.Cycles()
+	}
+	inOrder := run(1)
+	windowed := run(48)
+	if windowed > inOrder {
+		t.Errorf("window made things slower: %d vs %d", windowed, inOrder)
+	}
+	// A serial per-iteration FP chain benefits measurably.
+	if float64(inOrder)/float64(windowed) < 1.1 {
+		t.Errorf("chain kernel should benefit from cross-iteration scheduling: %d vs %d", inOrder, windowed)
+	}
+}
+
+// Values are independent of the window (timing-only mechanism).
+func TestScheduleWindowValueIndependence(t *testing.T) {
+	src := `
+program p
+  integer i, n
+  parameter (n = 64)
+  real s, a(64)
+  do i = 1, n
+    a(i) = real(i)
+    s = s + a(i) * 2.0
+  end do
+end
+`
+	for _, w := range []int{1, 8, 48, 512} {
+		r := runner(t, src, Options{Machine: machine.NewPOWER1(), ScheduleWindow: w})
+		if err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Scalar("s"); got != 64*65 {
+			t.Errorf("window %d: s = %v, want %v", w, got, 64*65)
+		}
+	}
+}
+
+// The promoted-register chain must survive the window: a single-scalar
+// reduction cannot run faster than its serial FMA chain allows.
+func TestReductionChainVisibleThroughWindow(t *testing.T) {
+	src := `
+program dot
+  integer i, n
+  parameter (n = 400)
+  real s, a(400), b(400)
+  do i = 1, n
+    s = s + a(i) * b(i)
+  end do
+end
+`
+	r := runner(t, src, Options{Machine: machine.NewPOWER1(), ScheduleWindow: 48})
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// FMA latency 2 per chained accumulation: ≥ 2n cycles.
+	if c := r.Cycles(); c < 2*400 {
+		t.Errorf("reduction chain lost: %d cycles for n=400", c)
+	}
+}
+
+// Independent accumulators (4-way split reduction) beat the serial one:
+// the classic reason compilers unroll reductions with multiple partial
+// sums.
+func TestSplitReductionBeatsSerial(t *testing.T) {
+	serial := `
+program dot
+  integer i, n
+  parameter (n = 400)
+  real s, a(400), b(400)
+  do i = 1, n
+    s = s + a(i) * b(i)
+  end do
+end
+`
+	split := `
+program dot4
+  integer i, n
+  parameter (n = 400)
+  real s1, s2, s3, s4, s, a(400), b(400)
+  do i = 1, n, 4
+    s1 = s1 + a(i) * b(i)
+    s2 = s2 + a(i+1) * b(i+1)
+    s3 = s3 + a(i+2) * b(i+2)
+    s4 = s4 + a(i+3) * b(i+3)
+  end do
+  s = s1 + s2 + s3 + s4
+end
+`
+	run := func(src string) int64 {
+		r := runner(t, src, Options{Machine: machine.NewPOWER1()})
+		if err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return r.Cycles()
+	}
+	a, b := run(serial), run(split)
+	if b >= a {
+		t.Errorf("split reduction (%d) should beat serial (%d)", b, a)
+	}
+}

@@ -1,0 +1,235 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg is a virtual register. Lowering produces SSA-like code: every
+// instruction that defines a value defines a fresh register, so the
+// only register dependences are read-after-write.
+type Reg int32
+
+// NoReg marks an absent register operand.
+const NoReg Reg = -1
+
+// Instr is one basic operation instance.
+type Instr struct {
+	Op   Op
+	Dst  Reg
+	Srcs []Reg
+
+	// Addr names the memory location for loads/stores, as a canonical
+	// lexical address string such as "a(i,j)" or "a(i,j+1)". Two memory
+	// operations with equal Addr strings access the same location in
+	// one execution of the block; different strings over the same array
+	// are assumed distinct within an innermost-block instance (standard
+	// for the straight-line blocks the cost model handles). Base is the
+	// array symbol alone.
+	Addr string
+	Base string
+
+	// Imm is the immediate for OpLoadImm and the known small-multiplier
+	// value for the IMulSmall specialization check.
+	Imm float64
+
+	// Callee names the routine for OpCall.
+	Callee string
+
+	// RefID is an opaque tag assigned by the translator linking a
+	// memory instruction back to its source-level reference (used by
+	// the interpreter to concretize addresses). Zero means untagged.
+	RefID int32
+}
+
+// NewInstr builds an instruction with the given sources.
+func NewInstr(op Op, dst Reg, srcs ...Reg) Instr {
+	return Instr{Op: op, Dst: dst, Srcs: srcs}
+}
+
+func (in Instr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	if in.Dst != NoReg && in.Op.HasDst() {
+		fmt.Fprintf(&b, " r%d", in.Dst)
+	}
+	for _, s := range in.Srcs {
+		if s == NoReg {
+			continue
+		}
+		fmt.Fprintf(&b, ", r%d", s)
+	}
+	if in.Addr != "" {
+		fmt.Fprintf(&b, ", [%s]", in.Addr)
+	}
+	if in.Op == OpLoadImm {
+		fmt.Fprintf(&b, ", #%g", in.Imm)
+	}
+	if in.Callee != "" {
+		fmt.Fprintf(&b, ", @%s", in.Callee)
+	}
+	return b.String()
+}
+
+// Block is a straight-line sequence of basic operations — the unit the
+// Tetris cost model prices.
+type Block struct {
+	Label  string
+	Instrs []Instr
+}
+
+// Append adds an instruction and returns its index.
+func (b *Block) Append(in Instr) int {
+	b.Instrs = append(b.Instrs, in)
+	return len(b.Instrs) - 1
+}
+
+// Clone returns a deep copy of the block.
+func (b *Block) Clone() *Block {
+	c := &Block{Label: b.Label, Instrs: make([]Instr, len(b.Instrs))}
+	for i, in := range b.Instrs {
+		c.Instrs[i] = in
+		c.Instrs[i].Srcs = append([]Reg(nil), in.Srcs...)
+	}
+	return c
+}
+
+func (b *Block) String() string {
+	var sb strings.Builder
+	if b.Label != "" {
+		fmt.Fprintf(&sb, "%s:\n", b.Label)
+	}
+	for i, in := range b.Instrs {
+		fmt.Fprintf(&sb, "%3d  %s\n", i, in.String())
+	}
+	return sb.String()
+}
+
+// MaxReg returns the highest register number used, or -1 for none.
+func (b *Block) MaxReg() Reg {
+	max := NoReg
+	for _, in := range b.Instrs {
+		if in.Dst > max {
+			max = in.Dst
+		}
+		for _, s := range in.Srcs {
+			if s > max {
+				max = s
+			}
+		}
+	}
+	return max
+}
+
+// Deps computes, for each instruction, the indices of earlier
+// instructions it must wait for:
+//
+//   - register read-after-write (the SSA producer of each source);
+//   - memory read-after-write, write-after-read and write-after-write
+//     on identical address strings;
+//   - stores to the same base array are ordered among themselves
+//     conservatively when their address strings differ only if
+//     mayAlias is set.
+//
+// This is the "filter" of the paper's cost objects: an operation that
+// uses the result of another cannot drop past it into the bins.
+func (b *Block) Deps(mayAlias bool) [][]int {
+	n := len(b.Instrs)
+	deps := make([][]int, n)
+	def := map[Reg]int{}
+	lastWrite := map[string]int{} // addr -> instr index
+	lastReads := map[string][]int{}
+	lastBaseWrite := map[string]int{}
+	lastBaseReads := map[string][]int{}
+
+	add := func(i, j int) {
+		if j < 0 || j >= i {
+			return
+		}
+		for _, e := range deps[i] {
+			if e == j {
+				return
+			}
+		}
+		deps[i] = append(deps[i], j)
+	}
+
+	for i, in := range b.Instrs {
+		for _, s := range in.Srcs {
+			if s == NoReg {
+				continue
+			}
+			if p, ok := def[s]; ok {
+				add(i, p)
+			}
+		}
+		if in.Op.IsMem() {
+			addr, base := in.Addr, in.Base
+			if in.Op.IsLoad() {
+				if w, ok := lastWrite[addr]; ok {
+					add(i, w) // RAW same address
+				} else if mayAlias {
+					if w, ok := lastBaseWrite[base]; ok {
+						add(i, w)
+					}
+				}
+				lastReads[addr] = append(lastReads[addr], i)
+				lastBaseReads[base] = append(lastBaseReads[base], i)
+			} else { // store
+				if w, ok := lastWrite[addr]; ok {
+					add(i, w) // WAW
+				}
+				for _, r := range lastReads[addr] {
+					add(i, r) // WAR
+				}
+				if mayAlias {
+					if w, ok := lastBaseWrite[base]; ok {
+						add(i, w)
+					}
+					for _, r := range lastBaseReads[base] {
+						add(i, r)
+					}
+					lastBaseReads[base] = nil
+				}
+				lastWrite[addr] = i
+				lastBaseWrite[base] = i
+				lastReads[addr] = nil
+			}
+		}
+		if in.Op.HasDst() && in.Dst != NoReg {
+			def[in.Dst] = i
+		}
+	}
+	return deps
+}
+
+// CriticalPathLen returns the length (in instructions) of the longest
+// dependence chain — a structural lower bound useful in tests.
+func (b *Block) CriticalPathLen(mayAlias bool) int {
+	deps := b.Deps(mayAlias)
+	depth := make([]int, len(b.Instrs))
+	max := 0
+	for i := range b.Instrs {
+		d := 1
+		for _, j := range deps[i] {
+			if depth[j]+1 > d {
+				d = depth[j] + 1
+			}
+		}
+		depth[i] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Counts returns a histogram of ops — the "operation-count based cost
+// model" input that the paper's model improves upon.
+func (b *Block) Counts() map[Op]int {
+	out := map[Op]int{}
+	for _, in := range b.Instrs {
+		out[in.Op]++
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpMetadata(t *testing.T) {
+	if !OpIAdd.Commutative() || OpISub.Commutative() {
+		t.Error("commutativity wrong for iadd/isub")
+	}
+	if OpFMA.NumSrcs() != 3 {
+		t.Errorf("fma srcs = %d", OpFMA.NumSrcs())
+	}
+	if !OpFLoad.IsLoad() || OpFLoad.IsStore() {
+		t.Error("fload classification")
+	}
+	if !OpFStore.IsStore() || !OpFStore.IsMem() {
+		t.Error("fstore classification")
+	}
+	if !OpBranch.IsBranch() || OpFAdd.IsBranch() {
+		t.Error("branch classification")
+	}
+	if OpFAdd.Class() != ClassFloat || OpIAdd.Class() != ClassInt {
+		t.Error("class wrong")
+	}
+	if OpIStore.HasDst() {
+		t.Error("istore should not define a register")
+	}
+}
+
+func TestAllOpsHaveNames(t *testing.T) {
+	seen := map[string]Op{}
+	for _, op := range AllOps() {
+		name := op.String()
+		if name == "" || strings.HasPrefix(name, "op(") {
+			t.Errorf("op %d has no name", op)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("duplicate mnemonic %q for %v and %v", name, prev, op)
+		}
+		seen[name] = op
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{Op: OpFLoad, Dst: 3, Addr: "a(i,j)", Base: "a"}
+	s := in.String()
+	if !strings.Contains(s, "lfd") && !strings.Contains(s, "fload") {
+		t.Errorf("String() = %q", s)
+	}
+	if !strings.Contains(s, "a(i,j)") {
+		t.Errorf("missing addr in %q", s)
+	}
+}
+
+// buildDaxpyBlock lowers y(i) = y(i) + a*x(i) by hand:
+//
+//	r0 = fload x(i); r1 = fload y(i); r2 = fload a
+//	r3 = fma r0, r2, r1; fstore r3 -> y(i)
+func buildDaxpyBlock() *Block {
+	b := &Block{}
+	b.Append(Instr{Op: OpFLoad, Dst: 0, Addr: "x(i)", Base: "x"})
+	b.Append(Instr{Op: OpFLoad, Dst: 1, Addr: "y(i)", Base: "y"})
+	b.Append(Instr{Op: OpFLoad, Dst: 2, Addr: "a", Base: "a"})
+	b.Append(Instr{Op: OpFMA, Dst: 3, Srcs: []Reg{0, 2, 1}})
+	b.Append(Instr{Op: OpFStore, Srcs: []Reg{3}, Addr: "y(i)", Base: "y"})
+	return b
+}
+
+func TestDepsRegisterRAW(t *testing.T) {
+	b := buildDaxpyBlock()
+	deps := b.Deps(false)
+	// FMA (index 3) depends on all three loads.
+	if len(deps[3]) != 3 {
+		t.Fatalf("fma deps = %v", deps[3])
+	}
+	// Store depends on FMA (reg) and the load of y(i) (WAR on address).
+	got := map[int]bool{}
+	for _, d := range deps[4] {
+		got[d] = true
+	}
+	if !got[3] {
+		t.Errorf("store missing RAW dep on fma: %v", deps[4])
+	}
+	if !got[1] {
+		t.Errorf("store missing WAR dep on load y(i): %v", deps[4])
+	}
+}
+
+func TestDepsMemoryRAWSameAddr(t *testing.T) {
+	b := &Block{}
+	b.Append(Instr{Op: OpFStore, Srcs: []Reg{0}, Addr: "s", Base: "s"})
+	b.Append(Instr{Op: OpFLoad, Dst: 1, Addr: "s", Base: "s"})
+	deps := b.Deps(false)
+	if len(deps[1]) != 1 || deps[1][0] != 0 {
+		t.Errorf("load-after-store deps = %v", deps[1])
+	}
+}
+
+func TestDepsDistinctSubscriptsIndependent(t *testing.T) {
+	b := &Block{}
+	b.Append(Instr{Op: OpFStore, Srcs: []Reg{0}, Addr: "a(i)", Base: "a"})
+	b.Append(Instr{Op: OpFLoad, Dst: 1, Addr: "a(i+1)", Base: "a"})
+	if deps := b.Deps(false); len(deps[1]) != 0 {
+		t.Errorf("distinct subscripts should be independent: %v", deps[1])
+	}
+	// Conservative mode orders them.
+	if deps := b.Deps(true); len(deps[1]) != 1 {
+		t.Errorf("mayAlias should order them: %v", deps[1])
+	}
+}
+
+func TestDepsWAW(t *testing.T) {
+	b := &Block{}
+	b.Append(Instr{Op: OpFStore, Srcs: []Reg{0}, Addr: "s", Base: "s"})
+	b.Append(Instr{Op: OpFStore, Srcs: []Reg{1}, Addr: "s", Base: "s"})
+	deps := b.Deps(false)
+	if len(deps[1]) != 1 || deps[1][0] != 0 {
+		t.Errorf("WAW deps = %v", deps[1])
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	b := buildDaxpyBlock()
+	// load -> fma -> store = 3
+	if cp := b.CriticalPathLen(false); cp != 3 {
+		t.Errorf("critical path = %d, want 3", cp)
+	}
+	// Independent ops: path 1.
+	b2 := &Block{}
+	for i := 0; i < 5; i++ {
+		b2.Append(Instr{Op: OpFAdd, Dst: Reg(2 * i), Srcs: []Reg{Reg(2*i + 100), Reg(2*i + 200)}})
+	}
+	if cp := b2.CriticalPathLen(false); cp != 1 {
+		t.Errorf("independent critical path = %d", cp)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	b := buildDaxpyBlock()
+	c := b.Clone()
+	c.Instrs[3].Srcs[0] = 99
+	c.Instrs[0].Addr = "z(i)"
+	if b.Instrs[3].Srcs[0] == 99 || b.Instrs[0].Addr == "z(i)" {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestCountsAndMaxReg(t *testing.T) {
+	b := buildDaxpyBlock()
+	c := b.Counts()
+	if c[OpFLoad] != 3 || c[OpFMA] != 1 || c[OpFStore] != 1 {
+		t.Errorf("counts = %v", c)
+	}
+	if b.MaxReg() != 3 {
+		t.Errorf("MaxReg = %d", b.MaxReg())
+	}
+	if (&Block{}).MaxReg() != NoReg {
+		t.Error("empty MaxReg should be NoReg")
+	}
+}
+
+func TestBlockString(t *testing.T) {
+	b := buildDaxpyBlock()
+	b.Label = "daxpy"
+	s := b.String()
+	if !strings.Contains(s, "daxpy:") || !strings.Contains(s, "fma") {
+		t.Errorf("block string: %q", s)
+	}
+}

@@ -1,0 +1,330 @@
+// Package kernels embeds the F-lite benchmark programs the evaluation
+// uses. The paper's Figure 7 prices the innermost basic blocks of
+// F1–F7 (kernels from the Purdue set in the HPF Benchmark suite), a
+// matrix multiply "blocked and unrolled 4 times in both dimensions (a
+// total of 16 FMA operations in the basic block)", the Jacobi
+// innermost block, and the red-black relaxation innermost block. The
+// original Purdue kernel text is not reproduced in the paper, so F1–F7
+// here are representative dense-kernel inner blocks of the documented
+// flavor (reductions, daxpy-like updates, Horner evaluation, norms,
+// tridiagonal-style sweeps, stencils).
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+)
+
+// Kernel is one benchmark program.
+type Kernel struct {
+	Name string
+	// Figure7 marks the kernels making up the paper's Figure 7 row set.
+	Figure7 bool
+	// Desc is a one-line description.
+	Desc string
+	// Src is the F-lite source.
+	Src string
+	// Args are default concrete values for dummy arguments.
+	Args map[string]float64
+	// Output names the array holding the result (for semantic checks).
+	Output string
+}
+
+// Parse returns the analyzed program.
+func (k Kernel) Parse() (*source.Program, *sem.Table, error) {
+	p, err := source.Parse(k.Src)
+	if err != nil {
+		return nil, nil, fmt.Errorf("kernel %s: %w", k.Name, err)
+	}
+	tbl, err := sem.Analyze(p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("kernel %s: %w", k.Name, err)
+	}
+	return p, tbl, nil
+}
+
+var registry = map[string]Kernel{}
+
+func register(k Kernel) {
+	registry[k.Name] = k
+}
+
+// Get returns a kernel by name.
+func Get(name string) (Kernel, error) {
+	k, ok := registry[name]
+	if !ok {
+		return Kernel{}, fmt.Errorf("kernels: unknown kernel %q", name)
+	}
+	return k, nil
+}
+
+// All returns every kernel, sorted by name.
+func All() []Kernel {
+	out := make([]Kernel, 0, len(registry))
+	for _, k := range registry {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Figure7Set returns the kernels of the paper's Figure 7 in their
+// published order: F1–F7, Matmul, Jacobi, RB.
+func Figure7Set() []Kernel {
+	names := []string{"f1", "f2", "f3", "f4", "f5", "f6", "f7", "matmul44", "jacobi", "redblack"}
+	out := make([]Kernel, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+func init() {
+	register(Kernel{
+		Name: "f1", Figure7: true,
+		Desc:   "dot product reduction",
+		Output: "x",
+		Src: `
+program f1
+  integer i, n
+  parameter (n = 256)
+  real x(1), a(256), b(256), s
+  s = 0.0
+  do i = 1, n
+    s = s + a(i) * b(i)
+  end do
+  x(1) = s
+end
+`})
+	register(Kernel{
+		Name: "f2", Figure7: true,
+		Desc:   "daxpy-style vector update",
+		Output: "y",
+		Src: `
+program f2
+  integer i, n
+  parameter (n = 256)
+  real alpha, x(256), y(256)
+  alpha = 2.5
+  do i = 1, n
+    y(i) = y(i) + alpha * x(i)
+  end do
+end
+`})
+	register(Kernel{
+		Name: "f3", Figure7: true,
+		Desc:   "Horner polynomial evaluation per element",
+		Output: "y",
+		Src: `
+program f3
+  integer i, n
+  parameter (n = 256)
+  real x(256), y(256), c0, c1, c2, c3
+  c0 = 1.0
+  c1 = 0.5
+  c2 = 0.25
+  c3 = 0.125
+  do i = 1, n
+    y(i) = ((c3 * x(i) + c2) * x(i) + c1) * x(i) + c0
+  end do
+end
+`})
+	register(Kernel{
+		Name: "f4", Figure7: true,
+		Desc:   "vector 2-norm accumulation",
+		Output: "x",
+		Src: `
+program f4
+  integer i, n
+  parameter (n = 256)
+  real x(1), a(256), s
+  s = 0.0
+  do i = 1, n
+    s = s + a(i) * a(i)
+  end do
+  x(1) = sqrt(s)
+end
+`})
+	register(Kernel{
+		Name: "f5", Figure7: true,
+		Desc:   "tridiagonal-style forward sweep",
+		Output: "x",
+		Src: `
+program f5
+  integer i, n
+  parameter (n = 256)
+  real x(256), d(256), l(256), b(256)
+  do i = 1, n
+    d(i) = 2.0 + real(i) / 256.0
+    l(i) = 0.5
+    b(i) = 1.0
+  end do
+  do i = 2, n
+    x(i) = (b(i) - l(i) * x(i-1)) / d(i)
+  end do
+end
+`})
+	register(Kernel{
+		Name: "f6", Figure7: true,
+		Desc:   "three-point smoothing stencil",
+		Output: "y",
+		Src: `
+program f6
+  integer i, n
+  parameter (n = 256)
+  real x(256), y(256)
+  do i = 2, n - 1
+    y(i) = 0.25 * x(i-1) + 0.5 * x(i) + 0.25 * x(i+1)
+  end do
+end
+`})
+	register(Kernel{
+		Name: "f7", Figure7: true,
+		Desc:   "element-wise scaled add with abs",
+		Output: "z",
+		Src: `
+program f7
+  integer i, n
+  parameter (n = 256)
+  real x(256), y(256), z(256)
+  do i = 1, n
+    z(i) = abs(x(i)) * 2.0 + y(i) / 4.0
+  end do
+end
+`})
+	register(Kernel{
+		Name: "matmul", Figure7: false,
+		Desc:   "plain triple-nested matrix multiply",
+		Output: "c",
+		Src: `
+program matmul
+  integer i, j, k, n
+  parameter (n = 32)
+  real a(32,32), b(32,32), c(32,32)
+  do i = 1, n
+    do j = 1, n
+      c(i,j) = 0.0
+      do k = 1, n
+        c(i,j) = c(i,j) + a(i,k) * b(k,j)
+      end do
+    end do
+  end do
+end
+`})
+	register(Kernel{
+		Name: "matmul44", Figure7: true,
+		Desc:   "matrix multiply blocked and unrolled 4×4: 16 FMAs in the innermost block",
+		Output: "c",
+		Src: `
+program matmul44
+  integer i, j, k, n
+  parameter (n = 32)
+  real a(32,32), b(32,32), c(32,32)
+  do i = 1, n, 4
+    do j = 1, n, 4
+      do k = 1, n
+        c(i,j) = c(i,j) + a(i,k) * b(k,j)
+        c(i+1,j) = c(i+1,j) + a(i+1,k) * b(k,j)
+        c(i+2,j) = c(i+2,j) + a(i+2,k) * b(k,j)
+        c(i+3,j) = c(i+3,j) + a(i+3,k) * b(k,j)
+        c(i,j+1) = c(i,j+1) + a(i,k) * b(k,j+1)
+        c(i+1,j+1) = c(i+1,j+1) + a(i+1,k) * b(k,j+1)
+        c(i+2,j+1) = c(i+2,j+1) + a(i+2,k) * b(k,j+1)
+        c(i+3,j+1) = c(i+3,j+1) + a(i+3,k) * b(k,j+1)
+        c(i,j+2) = c(i,j+2) + a(i,k) * b(k,j+2)
+        c(i+1,j+2) = c(i+1,j+2) + a(i+1,k) * b(k,j+2)
+        c(i+2,j+2) = c(i+2,j+2) + a(i+2,k) * b(k,j+2)
+        c(i+3,j+2) = c(i+3,j+2) + a(i+3,k) * b(k,j+2)
+        c(i,j+3) = c(i,j+3) + a(i,k) * b(k,j+3)
+        c(i+1,j+3) = c(i+1,j+3) + a(i+1,k) * b(k,j+3)
+        c(i+2,j+3) = c(i+2,j+3) + a(i+2,k) * b(k,j+3)
+        c(i+3,j+3) = c(i+3,j+3) + a(i+3,k) * b(k,j+3)
+      end do
+    end do
+  end do
+end
+`})
+	register(Kernel{
+		Name: "jacobi", Figure7: true,
+		Desc:   "Jacobi 5-point relaxation innermost block",
+		Output: "a",
+		Src: `
+program jacobi
+  integer i, j, n
+  parameter (n = 64)
+  real a(64,64), b(64,64)
+  do j = 2, n - 1
+    do i = 2, n - 1
+      a(i,j) = 0.25 * (b(i-1,j) + b(i+1,j) + b(i,j-1) + b(i,j+1))
+    end do
+  end do
+end
+`})
+	register(Kernel{
+		Name: "redblack", Figure7: true,
+		Desc:   "red-black Gauss-Seidel relaxation (red sweep)",
+		Output: "u",
+		Src: `
+program redblack
+  integer i, j, n
+  parameter (n = 64)
+  real u(64,64), f(64,64)
+  do j = 2, n - 1
+    do i = 2 + mod(j, 2), n - 1, 2
+      u(i,j) = 0.25 * (u(i-1,j) + u(i+1,j) + u(i,j-1) + u(i,j+1) + f(i,j))
+    end do
+  end do
+end
+`})
+	register(Kernel{
+		Name: "daxpy", Figure7: false,
+		Desc:   "subroutine daxpy with symbolic n (whole-program prediction demo)",
+		Output: "y",
+		Args:   map[string]float64{"n": 1000, "alpha": 2.0},
+		Src: `
+subroutine daxpy(n, alpha)
+  integer i, n
+  real alpha, x(4000), y(4000)
+  do i = 1, n
+    y(i) = y(i) + alpha * x(i)
+  end do
+end
+`})
+	register(Kernel{
+		Name: "condsplit", Figure7: false,
+		Desc:   "loop-index conditional (§3.3.2 example)",
+		Output: "t",
+		Args:   map[string]float64{"n": 2000, "k": 700},
+		Src: `
+subroutine condsplit(n, k)
+  integer i, n, k
+  real t(2000), f(2000)
+  do i = 1, n
+    if (i .le. k) then
+      t(i) = t(i) + 1.0
+    else
+      f(i) = f(i) / 3.0
+    end if
+  end do
+end
+`})
+	register(Kernel{
+		Name: "stencil_dist", Figure7: false,
+		Desc:   "block-distributed 1-D stencil (communication model demo)",
+		Output: "a",
+		Src: `
+program stencil_dist
+  integer i, n
+  parameter (n = 64)
+  real a(64), b(64)
+!hpf$ distribute a(block)
+!hpf$ distribute b(block)
+  do i = 2, n - 1
+    a(i) = b(i-1) + b(i+1)
+  end do
+end
+`})
+}

@@ -1,0 +1,146 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"perfpredict/internal/interp"
+	"perfpredict/internal/machine"
+)
+
+func TestAllKernelsParseAndAnalyze(t *testing.T) {
+	ks := All()
+	if len(ks) < 12 {
+		t.Fatalf("only %d kernels registered", len(ks))
+	}
+	for _, k := range ks {
+		if _, _, err := k.Parse(); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+		if k.Desc == "" || k.Output == "" {
+			t.Errorf("%s: missing metadata", k.Name)
+		}
+	}
+}
+
+func TestFigure7SetComplete(t *testing.T) {
+	set := Figure7Set()
+	if len(set) != 10 {
+		t.Fatalf("Figure 7 set has %d entries", len(set))
+	}
+	for _, k := range set {
+		if k.Name == "" {
+			t.Fatal("missing kernel in Figure 7 set")
+		}
+		if !k.Figure7 {
+			t.Errorf("%s not flagged Figure7", k.Name)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if k, err := Get("jacobi"); err != nil || k.Name != "jacobi" {
+		t.Errorf("Get(jacobi): %v %v", k, err)
+	}
+}
+
+// All kernels must execute under the interpreter (values only) without
+// errors, and with timing enabled produce positive cycle counts.
+func TestAllKernelsExecute(t *testing.T) {
+	for _, k := range All() {
+		t.Run(k.Name, func(t *testing.T) {
+			p, tbl, err := k.Parse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := interp.New(p, tbl, interp.Options{Machine: machine.NewPOWER1()})
+			for a, v := range k.Args {
+				r.SetScalar(a, v)
+			}
+			if err := r.Run(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if r.Cycles() <= 0 {
+				t.Errorf("cycles = %d", r.Cycles())
+			}
+			if out := r.Array(k.Output); len(out) == 0 {
+				t.Errorf("output array %q empty", k.Output)
+			}
+		})
+	}
+}
+
+// matmul44 must compute exactly what plain matmul computes.
+func TestMatmul44MatchesPlain(t *testing.T) {
+	run := func(name string) []float64 {
+		k, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, tbl, err := k.Parse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := interp.New(p, tbl, interp.Options{})
+		// Seed inputs deterministically.
+		n := 32
+		a := make([]float64, n*n)
+		b := make([]float64, n*n)
+		for i := range a {
+			a[i] = float64(i%17) * 0.5
+			b[i] = float64(i%13) * 0.25
+		}
+		r.SetArray("a", a)
+		r.SetArray("b", b)
+		if err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return r.Array("c")
+	}
+	plain := run("matmul")
+	unrolled := run("matmul44")
+	for i := range plain {
+		if math.Abs(plain[i]-unrolled[i]) > 1e-9 {
+			t.Fatalf("element %d: %v vs %v", i, plain[i], unrolled[i])
+		}
+	}
+}
+
+// The red-black kernel must only update points of one parity per
+// sweep.
+func TestRedBlackParity(t *testing.T) {
+	k, _ := Get("redblack")
+	p, tbl, err := k.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := interp.New(p, tbl, interp.Options{})
+	n := 64
+	f := make([]float64, n*n)
+	for i := range f {
+		f[i] = 4.0
+	}
+	r.SetArray("f", f)
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	u := r.Array("u")
+	touched := 0
+	for j := 2; j <= n-1; j++ {
+		for i := 2; i <= n-1; i++ {
+			val := u[(j-1)*n+(i-1)]
+			if val != 0 {
+				touched++
+				if (i+j)%2 != 0 {
+					t.Fatalf("wrong parity updated at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+	if touched == 0 {
+		t.Fatal("no red points updated")
+	}
+}

@@ -1,0 +1,79 @@
+package lower
+
+import "perfpredict/internal/ir"
+
+// deadStoreElim removes stores whose location is overwritten later in
+// the block with no intervening load of the same address or call. This
+// is the back-end behaviour that makes sum reductions cheap: in an
+// unrolled `s = s + …; s = s + …` chain only the final store survives,
+// the intermediate values staying in registers ("all but one store
+// instruction can be eliminated by using registers", §2.2.2). Loads
+// that forwarded from a removed store were already redirected to the
+// stored register during translation, so removal is safe.
+func deadStoreElim(b *ir.Block) {
+	type pending struct{ idx int }
+	lastStore := map[string]int{} // addr -> index of latest store
+	dead := map[int]bool{}
+	for i, in := range b.Instrs {
+		switch {
+		case in.Op.IsStore():
+			if prev, ok := lastStore[in.Addr]; ok {
+				dead[prev] = true
+			}
+			lastStore[in.Addr] = i
+		case in.Op.IsLoad():
+			// A load keeps the previous store to its address alive.
+			delete(lastStore, in.Addr)
+		case in.Op == ir.OpCall:
+			// Calls may observe all memory.
+			lastStore = map[string]int{}
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	out := b.Instrs[:0]
+	for i, in := range b.Instrs {
+		if !dead[i] {
+			out = append(out, in)
+		}
+	}
+	b.Instrs = out
+}
+
+// deadCodeElim removes instructions whose destination register is
+// never read — in any of the given blocks — and which have no side
+// effects (not stores, branches, or calls). The blocks form one
+// extended region (preheader + body), so a preheader value consumed by
+// the body stays alive. Iterates to a fixed point so chains of dead
+// producers die.
+func deadCodeElim(blocks ...*ir.Block) {
+	for {
+		used := map[ir.Reg]bool{}
+		for _, b := range blocks {
+			for _, in := range b.Instrs {
+				for _, s := range in.Srcs {
+					if s != ir.NoReg {
+						used[s] = true
+					}
+				}
+			}
+		}
+		removed := false
+		for _, b := range blocks {
+			out := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if in.Op.HasDst() && in.Dst != ir.NoReg && !used[in.Dst] &&
+					!in.Op.IsMem() && !in.Op.IsBranch() && in.Op != ir.OpCall {
+					removed = true
+					continue
+				}
+				out = append(out, in)
+			}
+			b.Instrs = out
+		}
+		if !removed {
+			return
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package source
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// The parser must never panic, whatever bytes it is fed: errors only.
+func TestQuickParseNeverPanics(t *testing.T) {
+	base := `
+program p
+  integer i, n
+  parameter (n = 10)
+  real a(10), x
+  do i = 1, n
+    if (i .le. 5) then
+      a(i) = x * 2.0 + real(i)
+    else
+      a(i) = sqrt(x)
+    end if
+  end do
+end
+`
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("parser panicked: %v", r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		b := []byte(base)
+		// Mutate a handful of random bytes.
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			pos := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0:
+				b[pos] = byte(rng.Intn(128))
+			case 1: // delete
+				b = append(b[:pos], b[pos+1:]...)
+			default: // duplicate
+				b = append(b[:pos], append([]byte{b[pos]}, b[pos:]...)...)
+			}
+			if len(b) == 0 {
+				b = []byte("x")
+			}
+		}
+		_, _ = Parse(string(b)) // error or success, never panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Random splices of token-ish fragments must not panic either.
+func TestParseFragmentSoup(t *testing.T) {
+	frags := []string{
+		"do i = 1, n", "end do", "if (", ") then", "else", "end if",
+		"a(i)", "= 1.0", "**", ".le.", "call f(", "program p", "end",
+		"integer", "real", "parameter (", "1e9", ".5", "&\n", "!hpf$ distribute a(block)",
+		"mod(i, 2)", ";", "-", "x", "\n",
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		var b strings.Builder
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			b.WriteString(frags[rng.Intn(len(frags))])
+			b.WriteByte(' ')
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", b.String(), r)
+				}
+			}()
+			_, _ = Parse(b.String())
+		}()
+	}
+}
+
+// Every kernel-shaped program that parses must round-trip through the
+// printer to an equivalent AST.
+func TestQuickPrintRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func() string {
+		var b strings.Builder
+		b.WriteString("program g\n integer i, j, n\n parameter (n = 16)\n real a(16,16), x\n")
+		stmts := 1 + rng.Intn(4)
+		for s := 0; s < stmts; s++ {
+			switch rng.Intn(3) {
+			case 0:
+				b.WriteString(" x = x * 2.0 + 1.0\n")
+			case 1:
+				b.WriteString(" do i = 1, n\n  a(i,1) = x + real(i)\n end do\n")
+			default:
+				b.WriteString(" if (x .gt. 0.0) then\n  x = x - 1.0\n else\n  x = x + 1.0\n end if\n")
+			}
+		}
+		b.WriteString("end\n")
+		return b.String()
+	}
+	for trial := 0; trial < 100; trial++ {
+		src := mk()
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated program failed to parse: %v\n%s", err, src)
+		}
+		printed := PrintProgram(p1)
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed program failed to re-parse: %v\n%s", err, printed)
+		}
+		if PrintProgram(p2) != printed {
+			t.Fatalf("round trip unstable:\n%s\nvs\n%s", printed, PrintProgram(p2))
+		}
+	}
+}

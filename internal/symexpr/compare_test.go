@@ -1,0 +1,349 @@
+package symexpr
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestRootsLinear(t *testing.T) {
+	n := Var("n")
+	p := NewVar(n).Scale(2).AddConst(-10) // root at 5
+	r, err := Roots(p, n, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 1 {
+		t.Fatalf("roots: %v", r)
+	}
+	approx(t, r[0], 5, 1e-9, "linear root")
+	// Out of range.
+	r, _ = Roots(p, n, 10, 100)
+	if len(r) != 0 {
+		t.Errorf("expected no roots in [10,100], got %v", r)
+	}
+}
+
+func TestRootsQuadratic(t *testing.T) {
+	n := Var("n")
+	// (n−3)(n−7) = n² − 10n + 21
+	p := NewVar(n).Pow(2).Sub(NewVar(n).Scale(10)).AddConst(21)
+	r, err := Roots(p, n, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 {
+		t.Fatalf("roots: %v", r)
+	}
+	approx(t, r[0], 3, 1e-9, "root 1")
+	approx(t, r[1], 7, 1e-9, "root 2")
+	// No real roots.
+	q := NewVar(n).Pow(2).AddConst(1)
+	r, _ = Roots(q, n, -100, 100)
+	if len(r) != 0 {
+		t.Errorf("n²+1 roots: %v", r)
+	}
+}
+
+func TestRootsCubicQuartic(t *testing.T) {
+	n := Var("n")
+	// (n−1)(n−4)(n−9) roots 1, 4, 9
+	p := NewVar(n).AddConst(-1).Mul(NewVar(n).AddConst(-4)).Mul(NewVar(n).AddConst(-9))
+	r, err := Roots(p, n, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRoots(t, r, []float64{1, 4, 9})
+	// Quartic (n²−1)(n²−16): roots ±1, ±4.
+	q := NewVar(n).Pow(2).AddConst(-1).Mul(NewVar(n).Pow(2).AddConst(-16))
+	r, err = Roots(q, n, -10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRoots(t, r, []float64{-4, -1, 1, 4})
+}
+
+func TestRootsDouble(t *testing.T) {
+	n := Var("n")
+	// (n−5)² — tangent root: derivative recursion finds it via the
+	// critical point falling exactly on the root.
+	p := NewVar(n).AddConst(-5).Pow(2)
+	r, err := Roots(p, n, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 1 || math.Abs(r[0]-5) > 1e-6 {
+		t.Errorf("double root: %v", r)
+	}
+}
+
+func TestRootsDegree5(t *testing.T) {
+	n := Var("n")
+	// n(n−2)(n−3)(n−5)(n−8)
+	p := NewVar(n)
+	for _, c := range []float64{2, 3, 5, 8} {
+		p = p.Mul(NewVar(n).AddConst(-c))
+	}
+	r, err := Roots(p, n, -1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRoots(t, r, []float64{0, 2, 3, 5, 8})
+}
+
+func wantRoots(t *testing.T, got, want []float64) {
+	t.Helper()
+	sort.Float64s(got)
+	if len(got) != len(want) {
+		t.Fatalf("got %d roots %v, want %v", len(got), got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Errorf("root %d: got %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSignRegionsCubic(t *testing.T) {
+	// Figure 10: a cubic with a>0 over [lb, ub] — negative then positive
+	// regions alternating at the roots. Use (n−2)(n−5)(n−8).
+	n := Var("n")
+	p := NewVar(n).AddConst(-2).Mul(NewVar(n).AddConst(-5)).Mul(NewVar(n).AddConst(-8))
+	regions, err := SignRegions(p, n, Interval{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSigns := []Sign{SignNegative, SignPositive, SignNegative, SignPositive}
+	if len(regions) != len(wantSigns) {
+		t.Fatalf("regions: %+v", regions)
+	}
+	for i, r := range regions {
+		if r.Sign != wantSigns[i] {
+			t.Errorf("region %d sign = %v, want %v (%+v)", i, r.Sign, wantSigns[i], r)
+		}
+	}
+	approx(t, regions[0].Hi, 2, 1e-6, "first boundary")
+	approx(t, regions[1].Hi, 5, 1e-6, "second boundary")
+	approx(t, regions[2].Hi, 8, 1e-6, "third boundary")
+}
+
+func TestSignRegionsConstant(t *testing.T) {
+	rs, err := SignRegions(Const(-2), "n", Interval{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Sign != SignNegative {
+		t.Errorf("regions: %+v", rs)
+	}
+}
+
+func TestCompareConstants(t *testing.T) {
+	cmp, err := Compare(Const(3), Const(5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Verdict != VerdictFirstBetter {
+		t.Errorf("verdict = %v", cmp.Verdict)
+	}
+	cmp, _ = Compare(Const(5), Const(5), nil)
+	if cmp.Verdict != VerdictEqual {
+		t.Errorf("equal verdict = %v", cmp.Verdict)
+	}
+}
+
+func TestCompareUnivariateAlways(t *testing.T) {
+	n := Var("n")
+	// f = 2n + 3, g = 3n + 10 over n ∈ [1, 100]: f always better.
+	f := NewVar(n).Scale(2).AddConst(3)
+	g := NewVar(n).Scale(3).AddConst(10)
+	cmp, err := Compare(f, g, Bounds{n: {1, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Verdict != VerdictFirstBetter {
+		t.Errorf("verdict = %v (diff %v, regions %+v)", cmp.Verdict, cmp.Diff, cmp.Regions)
+	}
+	if cmp.FirstShare != 1 {
+		t.Errorf("share = %v", cmp.FirstShare)
+	}
+}
+
+func TestCompareUnivariateDepends(t *testing.T) {
+	n := Var("n")
+	// f = n², g = 10n: f better for n < 10 within [1, 100]… actually
+	// n² < 10n ⇔ n < 10. First better on [1,10), second on (10,100].
+	f := NewVar(n).Pow(2)
+	g := NewVar(n).Scale(10)
+	cmp, err := Compare(f, g, Bounds{n: {1, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Verdict != VerdictDepends {
+		t.Fatalf("verdict = %v", cmp.Verdict)
+	}
+	rt, ok := DeriveRuntimeTest(cmp)
+	if !ok || len(rt.Thresholds) != 1 {
+		t.Fatalf("runtime test: %+v ok=%v", rt, ok)
+	}
+	approx(t, rt.Thresholds[0], 10, 1e-6, "crossover")
+}
+
+func TestCompareMissingBounds(t *testing.T) {
+	n := Var("n")
+	_, err := Compare(NewVar(n), Const(0), Bounds{})
+	if err == nil {
+		t.Error("expected missing-bounds error")
+	}
+}
+
+func TestCompareMultivariateIntervals(t *testing.T) {
+	n, p := Var("n"), Var("p")
+	// f = n·p, g = n·p + n + 1 → diff = −n − 1 < 0 for n ≥ 0.
+	f := NewVar(n).Mul(NewVar(p))
+	g := f.Add(NewVar(n)).AddConst(1)
+	cmp, err := Compare(f, g, Bounds{n: {1, 1000}, p: {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Verdict != VerdictFirstBetter {
+		t.Errorf("verdict = %v", cmp.Verdict)
+	}
+}
+
+func TestCompareMultivariateDepends(t *testing.T) {
+	n, k := Var("n"), Var("k")
+	// diff = n − k over n,k ∈ [1, 100]: mixed.
+	cmp, err := Compare(NewVar(n), NewVar(k), Bounds{n: {1, 100}, k: {1, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Verdict != VerdictDepends {
+		t.Errorf("verdict = %v", cmp.Verdict)
+	}
+	if cmp.FirstShare <= 0.3 || cmp.FirstShare >= 0.7 {
+		t.Errorf("share = %v, want ≈ 0.5", cmp.FirstShare)
+	}
+}
+
+func TestIntervalBound(t *testing.T) {
+	n := Var("n")
+	p := NewVar(n).Pow(2).Sub(NewVar(n).Scale(3)) // n² − 3n
+	lo, hi := IntervalBound(p, Bounds{n: {1, 10}})
+	// Conservative: lo ≤ min (−2.25 at n=1.5), hi ≥ max (70 at n=10).
+	if lo > -2.25+1e-9 {
+		t.Errorf("lo = %v not ≤ -2.25", lo)
+	}
+	if hi < 70-1e-9 {
+		t.Errorf("hi = %v not ≥ 70", hi)
+	}
+	// Even powers with sign-crossing interval.
+	q := NewVar(n).Pow(2)
+	lo, hi = IntervalBound(q, Bounds{n: {-3, 2}})
+	if lo != 0 || hi != 9 {
+		t.Errorf("x² over [-3,2]: [%v, %v], want [0, 9]", lo, hi)
+	}
+	// Laurent over interval containing 0 is unbounded.
+	l := Term(1, Monomial{n: -1})
+	lo, hi = IntervalBound(l, Bounds{n: {-1, 1}})
+	if !math.IsInf(lo, -1) || !math.IsInf(hi, 1) {
+		t.Errorf("1/n over [-1,1]: [%v, %v]", lo, hi)
+	}
+}
+
+func TestIntegralCompare(t *testing.T) {
+	n := Var("n")
+	// P = n − 5 over [0, 10]: ∫P⁺ = 12.5, ∫P⁻ = 12.5
+	pos, neg, err := IntegralCompare(NewVar(n), Const(5), n, Interval{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, pos, 12.5, 1e-6, "pos area")
+	approx(t, neg, 12.5, 1e-6, "neg area")
+	// P = n over [1, 3]: all positive, area 4.
+	pos, neg, err = IntegralCompare(NewVar(n), Zero(), n, Interval{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, pos, 4, 1e-6, "pos only")
+	approx(t, neg, 0, 1e-6, "no neg")
+}
+
+func TestDropDominatedTerms(t *testing.T) {
+	x := Var("x")
+	// Paper example: 4x⁴ + 2x³ − 4x + 1/x³ over x ∈ [3, 100] → drop 1/x³.
+	p := NewVar(x).Pow(4).Scale(4).
+		Add(NewVar(x).Pow(3).Scale(2)).
+		Sub(NewVar(x).Scale(4)).
+		Add(Term(1, Monomial{x: -3}))
+	simplified := DropDominatedTerms(p, Bounds{x: {3, 100}}, 1e-8)
+	want := NewVar(x).Pow(4).Scale(4).
+		Add(NewVar(x).Pow(3).Scale(2)).
+		Sub(NewVar(x).Scale(4))
+	if !simplified.Equal(want, 1e-12) {
+		t.Errorf("got %v, want %v", simplified, want)
+	}
+	// Nothing dominated → unchanged.
+	q := NewVar(x).Add(Const(1))
+	if !DropDominatedTerms(q, Bounds{x: {0.5, 2}}, 1e-4).Equal(q, 0) {
+		t.Error("dropped a non-dominated term")
+	}
+}
+
+func TestSensitivityRanking(t *testing.T) {
+	n, k, p := Var("n"), Var("k"), Var("p")
+	// cost = 100n + 5k + p: n dominates at nominal (n=100,k=100,p=0.5).
+	cost := NewVar(n).Scale(100).Add(NewVar(k).Scale(5)).Add(NewVar(p))
+	sens, err := Sensitivity(cost, map[Var]float64{n: 100, k: 100, p: 0.5}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sens[0].Var != n {
+		t.Errorf("most sensitive = %v, want n (%+v)", sens[0].Var, sens)
+	}
+	top, err := TopSensitive(cost, map[Var]float64{n: 100, k: 100, p: 0.5}, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0] != n || top[1] != k {
+		t.Errorf("top = %v", top)
+	}
+}
+
+func TestSensitivityZeroNominal(t *testing.T) {
+	n := Var("n")
+	cost := NewVar(n).Scale(10)
+	sens, err := Sensitivity(cost, map[Var]float64{n: 0}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sens) != 1 || sens[0].Perturbation == 0 {
+		t.Errorf("zero-nominal sensitivity: %+v", sens)
+	}
+}
+
+func TestDeriveRuntimeTestNotApplicable(t *testing.T) {
+	cmp := Comparison{Verdict: VerdictFirstBetter}
+	if _, ok := DeriveRuntimeTest(cmp); ok {
+		t.Error("runtime test derived from non-Depends verdict")
+	}
+}
+
+func TestSignString(t *testing.T) {
+	for s, want := range map[Sign]string{
+		SignNegative: "negative", SignPositive: "positive",
+		SignZero: "zero", SignMixed: "mixed", SignUnknown: "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+	for v, want := range map[Verdict]string{
+		VerdictFirstBetter: "first better", VerdictEqual: "equal",
+		VerdictSecondBetter: "second better", VerdictDepends: "depends on unknowns",
+		VerdictUnknown: "unknown",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q", v, v.String())
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package symexpr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randPoly builds a random polynomial in up to three variables with
+// small integer coefficients and exponents, suitable for algebraic
+// property tests.
+func randPoly(r *rand.Rand) Poly {
+	vars := []Var{"x", "y", "z"}
+	p := Zero()
+	nTerms := 1 + r.Intn(5)
+	for i := 0; i < nTerms; i++ {
+		coeff := float64(r.Intn(21) - 10)
+		m := Monomial{}
+		for _, v := range vars {
+			if r.Intn(2) == 0 {
+				m[v] = r.Intn(4)
+			}
+		}
+		p = p.Add(Term(coeff, m))
+	}
+	return p
+}
+
+func randAssign(r *rand.Rand) map[Var]float64 {
+	return map[Var]float64{
+		"x": float64(r.Intn(9)-4) + 0.5,
+		"y": float64(r.Intn(9)-4) + 0.5,
+		"z": float64(r.Intn(9)-4) + 0.5,
+	}
+}
+
+func evalOK(t *testing.T, p Poly, a map[Var]float64) float64 {
+	t.Helper()
+	v, err := p.Eval(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestQuickAddCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q := randPoly(r), randPoly(r)
+		return p.Add(q).Equal(q.Add(p), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulCommutesAndDistributes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q, s := randPoly(r), randPoly(r), randPoly(r)
+		if !p.Mul(q).Equal(q.Mul(p), 1e-6) {
+			return false
+		}
+		lhs := p.Mul(q.Add(s))
+		rhs := p.Mul(q).Add(p.Mul(s))
+		return lhs.Equal(rhs, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEvalHomomorphism(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q := randPoly(r), randPoly(r)
+		a := randAssign(r)
+		sum := evalOK(t, p.Add(q), a)
+		if math.Abs(sum-(evalOK(t, p, a)+evalOK(t, q, a))) > 1e-6*(1+math.Abs(sum)) {
+			return false
+		}
+		prod := evalOK(t, p.Mul(q), a)
+		return math.Abs(prod-evalOK(t, p, a)*evalOK(t, q, a)) <= 1e-6*(1+math.Abs(prod))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubstituteConsistentWithEval(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randPoly(r)
+		a := randAssign(r)
+		// Substituting x = const then evaluating the rest equals full eval.
+		sub, err := p.Substitute("x", Const(a["x"]))
+		if err != nil {
+			return false
+		}
+		got := evalOK(t, sub, a)
+		want := evalOK(t, p, a)
+		return math.Abs(got-want) <= 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSumOverMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := Var("k")
+		// Random univariate polynomial in k, degree ≤ 4.
+		p := Zero()
+		for e := 0; e <= r.Intn(5); e++ {
+			p = p.Add(Term(float64(r.Intn(11)-5), Monomial{k: e}))
+		}
+		lb := r.Intn(10) - 5
+		ub := lb + r.Intn(30)
+		s, err := SumOver(p, k, Const(float64(lb)), Const(float64(ub)))
+		if err != nil {
+			return false
+		}
+		got, ok := s.IsConst()
+		if !ok {
+			return false
+		}
+		want := 0.0
+		for i := lb; i <= ub; i++ {
+			want += p.MustEval(map[Var]float64{k: float64(i)})
+		}
+		return math.Abs(got-want) <= 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRootsAreRoots(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := Var("n")
+		// Build from known roots so we can verify recovery.
+		p := Const(1)
+		nRoots := 1 + r.Intn(4)
+		for i := 0; i < nRoots; i++ {
+			root := float64(r.Intn(41) - 20)
+			p = p.Mul(NewVar(n).AddConst(-root))
+		}
+		roots, err := Roots(p, n, -25, 25)
+		if err != nil {
+			return false
+		}
+		for _, root := range roots {
+			v := p.MustEval(map[Var]float64{n: root})
+			// Residual should be tiny relative to the polynomial scale.
+			if math.Abs(v) > 1e-4*(1+math.Abs(root))*math.Pow(25, float64(nRoots-1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSignRegionsCover(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := Var("n")
+		p := Zero()
+		for e := 0; e <= 1+r.Intn(4); e++ {
+			p = p.Add(Term(float64(r.Intn(11)-5), Monomial{n: e}))
+		}
+		regions, err := SignRegions(p, n, Interval{-10, 10})
+		if err != nil {
+			return false
+		}
+		// Regions must tile [-10, 10] in order.
+		if len(regions) == 0 {
+			return false
+		}
+		if regions[0].Lo != -10 || regions[len(regions)-1].Hi != 10 {
+			return false
+		}
+		for i := 1; i < len(regions); i++ {
+			if regions[i].Lo != regions[i-1].Hi {
+				return false
+			}
+		}
+		// Each claimed-sign region must match evaluation at its midpoint.
+		for _, reg := range regions {
+			mid := (reg.Lo + reg.Hi) / 2
+			v := p.MustEval(map[Var]float64{n: mid})
+			s := signOf(v)
+			if reg.Sign != s && reg.Sign != SignZero && s != SignZero {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntervalBoundIsSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randPoly(r)
+		b := Bounds{"x": {0.5, 4}, "y": {1, 3}, "z": {0.25, 2}}
+		lo, hi := IntervalBound(p, b)
+		// Sample: every sampled value must lie within [lo, hi].
+		for i := 0; i < 20; i++ {
+			a := map[Var]float64{
+				"x": 0.5 + r.Float64()*3.5,
+				"y": 1 + r.Float64()*2,
+				"z": 0.25 + r.Float64()*1.75,
+			}
+			v := p.MustEval(a)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+package symexpr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Roots finds the real roots of a univariate polynomial p in v within
+// the closed interval [lo, hi], sorted ascending. Closed forms are used
+// for degrees 1 and 2 (the paper notes closed forms exist up to degree
+// 4, §3.1); higher degrees use the derivative-recursion method: the
+// roots of p′ partition [lo, hi] into monotonic intervals, and a sign
+// change within an interval is isolated by bisection. This is robust
+// for the well-conditioned, low-degree polynomials that arise as
+// performance-expression differences.
+func Roots(p Poly, v Var, lo, hi float64) ([]float64, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("symexpr: Roots: empty interval [%g, %g]", lo, hi)
+	}
+	coeffs, err := p.Coeffs(v)
+	if err != nil {
+		return nil, err
+	}
+	return rootsDense(coeffs, lo, hi), nil
+}
+
+// rootsDense finds real roots of Σ c[i] x^i in [lo, hi].
+func rootsDense(c []float64, lo, hi float64) []float64 {
+	c = trimZeros(c)
+	switch len(c) {
+	case 0, 1:
+		return nil // zero or nonzero constant: no isolated roots reported
+	case 2:
+		r := -c[0] / c[1]
+		if r >= lo && r <= hi {
+			return []float64{r}
+		}
+		return nil
+	case 3:
+		return quadRoots(c[0], c[1], c[2], lo, hi)
+	}
+	// Degree ≥ 3: recurse on the derivative.
+	d := make([]float64, len(c)-1)
+	for i := 1; i < len(c); i++ {
+		d[i-1] = c[i] * float64(i)
+	}
+	crit := rootsDense(d, lo, hi)
+	pts := append([]float64{lo}, crit...)
+	pts = append(pts, hi)
+	eval := func(x float64) float64 { return horner(c, x) }
+	var roots []float64
+	for i := 0; i+1 < len(pts); i++ {
+		a, b := pts[i], pts[i+1]
+		if b <= a {
+			continue
+		}
+		fa, fb := eval(a), eval(b)
+		if fa == 0 {
+			roots = appendRoot(roots, a)
+		}
+		if fa*fb < 0 {
+			roots = appendRoot(roots, bisect(eval, a, b, fa))
+		}
+	}
+	if horner(c, hi) == 0 {
+		roots = appendRoot(roots, hi)
+	}
+	sort.Float64s(roots)
+	return roots
+}
+
+func trimZeros(c []float64) []float64 {
+	n := len(c)
+	for n > 0 && math.Abs(c[n-1]) < coeffEps {
+		n--
+	}
+	return c[:n]
+}
+
+func horner(c []float64, x float64) float64 {
+	s := 0.0
+	for i := len(c) - 1; i >= 0; i-- {
+		s = s*x + c[i]
+	}
+	return s
+}
+
+func quadRoots(c0, c1, c2, lo, hi float64) []float64 {
+	disc := c1*c1 - 4*c2*c0
+	if disc < 0 {
+		return nil
+	}
+	sq := math.Sqrt(disc)
+	// Numerically stable quadratic formula.
+	var r1, r2 float64
+	if c1 >= 0 {
+		q := -(c1 + sq) / 2
+		r1, r2 = q/c2, safeDiv(c0, q)
+	} else {
+		q := -(c1 - sq) / 2
+		r1, r2 = safeDiv(c0, q), q/c2
+	}
+	var out []float64
+	for _, r := range []float64{r1, r2} {
+		if !math.IsNaN(r) && !math.IsInf(r, 0) && r >= lo && r <= hi {
+			out = appendRoot(out, r)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}
+
+func appendRoot(roots []float64, r float64) []float64 {
+	const sameTol = 1e-9
+	for _, x := range roots {
+		if math.Abs(x-r) <= sameTol*math.Max(1, math.Abs(x)) {
+			return roots
+		}
+	}
+	return append(roots, r)
+}
+
+// bisect isolates a root of f in (a, b) given f(a)=fa with fa·f(b)<0.
+func bisect(f func(float64) float64, a, b, fa float64) float64 {
+	for i := 0; i < 200; i++ {
+		m := (a + b) / 2
+		if m == a || m == b {
+			return m
+		}
+		fm := f(m)
+		if fm == 0 {
+			return m
+		}
+		if (fa < 0) == (fm < 0) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+		if b-a < 1e-13*math.Max(1, math.Abs(a)) {
+			break
+		}
+	}
+	return (a + b) / 2
+}

@@ -1,0 +1,294 @@
+package tetris
+
+import (
+	"fmt"
+
+	"perfpredict/internal/ir"
+	"perfpredict/internal/machine"
+)
+
+// Options tune the estimator; the zero value gives the paper's default
+// behaviour (dependence-honoring placement, unlimited focus span).
+type Options struct {
+	// FocusSpan bounds how far below the highest occupied slot the
+	// search may reach (§2.1: "only a certain number of slots … under
+	// the highest occupied time slot need to be considered"); 0 means
+	// unlimited.
+	FocusSpan int
+	// MayAlias makes memory dependence conservative across different
+	// subscripts of the same array.
+	MayAlias bool
+	// IgnoreDeps drops the dependence filter (ablation: pure bin
+	// packing, a lower bound).
+	IgnoreDeps bool
+	// DispatchWidth overrides the machine's dispatch width; 0 keeps it.
+	DispatchWidth int
+}
+
+// Result is the cost estimate for one straight-line block.
+type Result struct {
+	// Cost is the makespan in cycles: highest − lowest occupied slot,
+	// including the trailing coverable latency of the final operations
+	// ("if no other executable operations can be found to fill the
+	// coverable cycle, then the operation will cost two cycles").
+	Cost int
+	// Start and End bound the occupied region in absolute slots.
+	Start, End int
+	// PlaceTime holds the issue slot of each instruction.
+	PlaceTime []int
+	// Shape is the block's cost block (Figure 8).
+	Shape CostBlock
+}
+
+// Estimate prices a straight-line block on m: the paper's approximate
+// solution to the scheduling problem, placing each operation's cost
+// object into the lowest time slots where all of its per-unit segments
+// fit simultaneously, no earlier than its operands allow.
+func Estimate(m *machine.Machine, b *ir.Block, opt Options) (Result, error) {
+	bins := newBins(m, opt)
+	deps := b.Deps(opt.MayAlias)
+	place := make([]int, len(b.Instrs))
+	finish := make([]int, len(b.Instrs))
+	maxFinish := 0
+	for i, in := range b.Instrs {
+		seq, err := m.Lookup(in.Op)
+		if err != nil {
+			return Result{}, err
+		}
+		ready, dataReady := 0, 0
+		if !opt.IgnoreDeps {
+			for _, j := range deps[i] {
+				// Register (data) dependences are split from memory
+				// ordering so stores can be modelled as buffered.
+				if b.Instrs[j].Op.IsMem() {
+					if finish[j] > ready {
+						ready = finish[j]
+					}
+				} else if finish[j] > dataReady {
+					dataReady = finish[j]
+				}
+			}
+		}
+		if !in.Op.IsStore() && dataReady > ready {
+			ready = dataReady
+		}
+		start, end, err := bins.place(seq, ready)
+		if err != nil {
+			return Result{}, fmt.Errorf("instr %d (%s): %w", i, in, err)
+		}
+		if in.Op.IsStore() && dataReady+1 > end {
+			// Pending-store queue: the unit slots execute early; the
+			// memory effect completes once the datum arrives.
+			end = dataReady + 1
+		}
+		place[i] = start
+		finish[i] = end
+		if end > maxFinish {
+			maxFinish = end
+		}
+	}
+	res := Result{PlaceTime: place}
+	res.Start, res.End = bins.extent()
+	if maxFinish > res.End {
+		res.End = maxFinish
+	}
+	if res.End > res.Start {
+		res.Cost = res.End - res.Start
+	}
+	res.Shape = bins.costBlock(res.Start, res.End)
+	return res, nil
+}
+
+// bins is the two-dimensional virtual architecture bin of Figure 3.
+type bins struct {
+	m      *machine.Machine
+	opt    Options
+	inst   []machine.UnitInstance
+	byKind map[machine.UnitKind][]int // indices into inst / slots
+	slots  []*slotList
+	// latEnd[i] tracks the furthest dependent-visible latency end per
+	// pipe, so the cost block includes trailing coverable cycles.
+	latEnd   []int
+	dispatch map[int]int // ops begun per cycle
+	top      int         // highest noncov-occupied slot + 1
+	haveOcc  bool
+	width    int
+}
+
+func newBins(m *machine.Machine, opt Options) *bins {
+	inst := m.Units()
+	b := &bins{
+		m:        m,
+		opt:      opt,
+		inst:     inst,
+		byKind:   map[machine.UnitKind][]int{},
+		slots:    make([]*slotList, len(inst)),
+		latEnd:   make([]int, len(inst)),
+		dispatch: map[int]int{},
+		width:    m.DispatchWidth,
+	}
+	if opt.DispatchWidth > 0 {
+		b.width = opt.DispatchWidth
+	}
+	for i, u := range inst {
+		b.byKind[u.Kind] = append(b.byKind[u.Kind], i)
+		b.slots[i] = newSlotList(64)
+	}
+	return b
+}
+
+// floor returns the lowest slot the focus span permits.
+func (b *bins) floor() int {
+	if b.opt.FocusSpan <= 0 || !b.haveOcc {
+		return 0
+	}
+	f := b.top - b.opt.FocusSpan
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// place drops an atomic-op sequence (executed serially) starting no
+// earlier than ready; returns the first op's start slot and the
+// sequence's dependent-visible end.
+func (b *bins) place(seq []machine.AtomicOp, ready int) (start, end int, err error) {
+	cur := ready
+	start = -1
+	for _, a := range seq {
+		t, err := b.placeOne(a, cur)
+		if err != nil {
+			return 0, 0, err
+		}
+		if start == -1 {
+			start = t
+		}
+		cur = t + a.Latency()
+	}
+	if start == -1 { // empty sequence: treat as zero-latency at ready
+		start = ready
+		cur = ready
+	}
+	return start, cur, nil
+}
+
+// placeOne finds the lowest t ≥ ready where every segment of a fits
+// simultaneously (on some pipe of its kind) and the dispatch width at t
+// is not exhausted, then occupies the slots.
+func (b *bins) placeOne(a machine.AtomicOp, ready int) (int, error) {
+	t := ready
+	if f := b.floor(); t < f {
+		t = f
+	}
+	const maxIter = 1 << 20
+	for iter := 0; iter < maxIter; iter++ {
+		chosen, tNext, ok := b.tryFit(a, t)
+		if !ok {
+			t = tNext
+			continue
+		}
+		if b.width > 0 && b.dispatch[t] >= b.width {
+			t++
+			continue
+		}
+		// Commit.
+		for si, seg := range a.Segments {
+			pipe := chosen[si]
+			if seg.Noncov > 0 {
+				b.slots[pipe].occupy(t+seg.Start, seg.Noncov)
+			}
+			if e := t + seg.End(); e > b.latEnd[pipe] {
+				b.latEnd[pipe] = e
+			}
+			if occTop := t + seg.Start + seg.Noncov; seg.Noncov > 0 && occTop > b.top {
+				b.top = occTop
+			}
+		}
+		if a.Latency() > 0 || len(a.Segments) > 0 {
+			b.haveOcc = true
+		}
+		b.dispatch[t]++
+		return t, nil
+	}
+	return 0, fmt.Errorf("tetris: no placement found for %s", a.Name)
+}
+
+// tryFit checks whether every segment fits at base time t; on failure
+// it returns the next candidate t to try. chosen maps segment index to
+// pipe index.
+func (b *bins) tryFit(a machine.AtomicOp, t int) (chosen []int, tNext int, ok bool) {
+	chosen = make([]int, len(a.Segments))
+	used := map[int]bool{}
+	bump := t + 1
+	for si, seg := range a.Segments {
+		pipes := b.byKind[seg.Unit]
+		found := -1
+		bestNext := -1
+		for _, p := range pipes {
+			if used[p] {
+				continue
+			}
+			if seg.Noncov == 0 || b.slots[p].free(t+seg.Start, seg.Noncov) {
+				found = p
+				break
+			}
+			nf := b.slots[p].nextFit(t+seg.Start, seg.Noncov) - seg.Start
+			if bestNext == -1 || nf < bestNext {
+				bestNext = nf
+			}
+		}
+		if found == -1 {
+			if bestNext > bump {
+				bump = bestNext
+			}
+			return nil, bump, false
+		}
+		used[found] = true
+		chosen[si] = found
+	}
+	return chosen, 0, true
+}
+
+// extent returns the lowest occupied slot and the highest
+// dependent-visible end over all pipes.
+func (b *bins) extent() (lo, hi int) {
+	lo, hi = -1, 0
+	for i, s := range b.slots {
+		f, _ := s.extent()
+		if f >= 0 && (lo == -1 || f < lo) {
+			lo = f
+		}
+		if b.latEnd[i] > hi {
+			hi = b.latEnd[i]
+		}
+	}
+	if lo == -1 {
+		lo = 0
+	}
+	return lo, hi
+}
+
+// costBlock summarizes the occupied region (Figure 8).
+func (b *bins) costBlock(lo, hi int) CostBlock {
+	cb := CostBlock{
+		Height: hi - lo,
+		First:  map[machine.UnitKind]int{},
+		Last:   map[machine.UnitKind]int{},
+		Busy:   map[machine.UnitKind]int{},
+	}
+	for i, u := range b.inst {
+		f, l := b.slots[i].extent()
+		if f < 0 {
+			continue
+		}
+		rf, rl := f-lo, l-lo
+		if cur, ok := cb.First[u.Kind]; !ok || rf < cur {
+			cb.First[u.Kind] = rf
+		}
+		if cur, ok := cb.Last[u.Kind]; !ok || rl > cur {
+			cb.Last[u.Kind] = rl
+		}
+		cb.Busy[u.Kind] += b.slots[i].filledCount(hi)
+	}
+	return cb
+}

@@ -1,0 +1,242 @@
+package xform
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"perfpredict/internal/aggregate"
+	"perfpredict/internal/machine"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+	"perfpredict/internal/symexpr"
+)
+
+// Move is one applicable transformation instance.
+type Move struct {
+	Kind  string // "unroll", "interchange", "tile", "fuse"
+	Path  Path
+	Param int // factor / size
+}
+
+func (m Move) String() string {
+	if m.Param > 0 {
+		return fmt.Sprintf("%s%d@%v", m.Kind, m.Param, m.Path)
+	}
+	return fmt.Sprintf("%s@%v", m.Kind, m.Path)
+}
+
+// Apply performs the move on a fresh clone.
+func Apply(p *source.Program, m Move) (*source.Program, error) {
+	switch m.Kind {
+	case "unroll":
+		return Unroll(p, m.Path, m.Param)
+	case "interchange":
+		return Interchange(p, m.Path)
+	case "tile":
+		return Tile(p, m.Path, m.Param)
+	case "fuse":
+		return Fuse(p, m.Path)
+	case "distribute":
+		return Distribute(p, m.Path, m.Param)
+	default:
+		return nil, fmt.Errorf("xform: unknown move %q", m.Kind)
+	}
+}
+
+// SearchOptions configure the transformation search.
+type SearchOptions struct {
+	Machine *machine.Machine
+	// Nominal assigns values to performance-expression unknowns when
+	// ranking variants; unknowns absent from the map default to
+	// DefaultUnknown.
+	Nominal        map[symexpr.Var]float64
+	DefaultUnknown float64
+	// MaxNodes bounds the number of expanded states (default 40).
+	MaxNodes int
+	// MaxDepth bounds the transformation sequence length (default 3).
+	MaxDepth int
+	// UnrollFactors and TileSizes to propose (defaults {2,4} / {16}).
+	UnrollFactors []int
+	TileSizes     []int
+	AggOpt        aggregate.Options
+	// DisableFuse/DisableTile trim the move set.
+	DisableFuse bool
+	DisableTile bool
+}
+
+func (o *SearchOptions) defaults() {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 40
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 3
+	}
+	if len(o.UnrollFactors) == 0 {
+		o.UnrollFactors = []int{2, 4}
+	}
+	if len(o.TileSizes) == 0 {
+		o.TileSizes = []int{16}
+	}
+	if o.DefaultUnknown == 0 {
+		o.DefaultUnknown = 100
+	}
+	if o.AggOpt.SteadyStateIters == 0 {
+		o.AggOpt = aggregate.DefaultOptions()
+	}
+}
+
+// SearchResult reports the best variant found.
+type SearchResult struct {
+	Best        *source.Program
+	BestCost    float64
+	InitialCost float64
+	Sequence    []Move
+	Explored    int
+	CacheHits   int
+	CacheMisses int
+}
+
+// Moves enumerates the legal transformations of a program. Legality
+// for interchange/fusion is verified during Apply; here cheap
+// structural filters keep the branching factor small.
+func Moves(p *source.Program, opt SearchOptions) []Move {
+	var out []Move
+	sites := FindLoops(p)
+	for _, s := range sites {
+		if s.Innermost {
+			for _, f := range opt.UnrollFactors {
+				out = append(out, Move{Kind: "unroll", Path: s.Path, Param: f})
+			}
+		}
+		if s.PerfectParent {
+			out = append(out, Move{Kind: "interchange", Path: s.Path})
+		}
+		if !opt.DisableTile && !s.Innermost && s.Loop.Step == nil {
+			for _, ts := range opt.TileSizes {
+				out = append(out, Move{Kind: "tile", Path: s.Path, Param: ts})
+			}
+		}
+		if s.Innermost && len(s.Loop.Body) >= 2 {
+			out = append(out, Move{Kind: "distribute", Path: s.Path, Param: 1})
+		}
+	}
+	if !opt.DisableFuse {
+		// Adjacent sibling loops.
+		for _, s := range sites {
+			list, i, err := locate(p, s.Path)
+			if err != nil || i+1 >= len(list) {
+				continue
+			}
+			if _, ok := list[i+1].(*source.DoLoop); ok {
+				out = append(out, Move{Kind: "fuse", Path: s.Path})
+			}
+		}
+	}
+	return out
+}
+
+// Predict evaluates the aggregated cost of a program at the nominal
+// assignment, sharing the given segment cache.
+func Predict(p *source.Program, opt SearchOptions, cache *aggregate.SegCache) (float64, error) {
+	tbl, err := sem.Analyze(p)
+	if err != nil {
+		return 0, err
+	}
+	est := aggregate.NewWithCache(tbl, opt.Machine, opt.AggOpt, cache)
+	res, err := est.Program(p)
+	if err != nil {
+		return 0, err
+	}
+	assign := map[symexpr.Var]float64{}
+	for _, v := range res.Cost.Vars() {
+		if val, ok := opt.Nominal[v]; ok {
+			assign[v] = val
+		} else {
+			assign[v] = opt.DefaultUnknown
+		}
+	}
+	return res.Cost.Eval(assign)
+}
+
+// state is one search node.
+type state struct {
+	prog *source.Program
+	cost float64
+	seq  []Move
+}
+
+type stateHeap []*state
+
+func (h stateHeap) Len() int           { return len(h) }
+func (h stateHeap) Less(a, b int) bool { return h[a].cost < h[b].cost }
+func (h stateHeap) Swap(a, b int)      { h[a], h[b] = h[b], h[a] }
+func (h *stateHeap) Push(x any)        { *h = append(*h, x.(*state)) }
+func (h *stateHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Search explores transformation sequences best-first, ranking states
+// by predicted cost; ties and pruning make it the practical variant of
+// the paper's A* proposal (the heuristic lower bound is zero). It
+// returns the cheapest variant encountered.
+func Search(p *source.Program, opt SearchOptions) (SearchResult, error) {
+	opt.defaults()
+	if opt.Machine == nil {
+		return SearchResult{}, fmt.Errorf("xform: SearchOptions.Machine is required")
+	}
+	cache := aggregate.NewSegCache()
+	initCost, err := Predict(p, opt, cache)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	start := &state{prog: p, cost: initCost}
+	best := start
+	visited := map[string]bool{source.PrintProgram(p): true}
+	h := &stateHeap{start}
+	explored := 0
+	for h.Len() > 0 && explored < opt.MaxNodes {
+		cur := heap.Pop(h).(*state)
+		explored++
+		if len(cur.seq) >= opt.MaxDepth {
+			continue
+		}
+		moves := Moves(cur.prog, opt)
+		// Deterministic order.
+		sort.Slice(moves, func(i, j int) bool { return moves[i].String() < moves[j].String() })
+		for _, mv := range moves {
+			next, err := Apply(cur.prog, mv)
+			if err != nil {
+				continue // illegal move: skip
+			}
+			key := source.PrintProgram(next)
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			c, err := Predict(next, opt, cache)
+			if err != nil {
+				continue
+			}
+			st := &state{prog: next, cost: c, seq: append(append([]Move{}, cur.seq...), mv)}
+			if c < best.cost {
+				best = st
+			}
+			heap.Push(h, st)
+		}
+	}
+	hits, misses := cache.Stats()
+	return SearchResult{
+		Best:        best.prog,
+		BestCost:    best.cost,
+		InitialCost: initCost,
+		Sequence:    best.seq,
+		Explored:    explored,
+		CacheHits:   hits,
+		CacheMisses: misses,
+	}, nil
+}

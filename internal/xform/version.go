@@ -1,0 +1,63 @@
+package xform
+
+import (
+	"fmt"
+
+	"perfpredict/internal/source"
+)
+
+// Versioned builds a two-version program guarded by a run-time test
+// (§3.4: "multiple branches of instructions guided by well-chosen
+// run-time tests can be effective for programs whose performances
+// depend on input data"). When the guard holds, the first variant's
+// body runs; otherwise the second's. The variants must be versions of
+// the same program unit (same dummy parameters); declarations are
+// merged so transformation-introduced control variables (tile vars)
+// survive.
+func Versioned(first, second *source.Program, guard source.Expr) (*source.Program, error) {
+	if len(first.Params) != len(second.Params) {
+		return nil, fmt.Errorf("xform: versioned variants disagree on parameters")
+	}
+	for i := range first.Params {
+		if first.Params[i] != second.Params[i] {
+			return nil, fmt.Errorf("xform: versioned variants disagree on parameter %d", i)
+		}
+	}
+	out := source.CloneProgram(first)
+	alt := source.CloneProgram(second)
+	// Merge declarations the second variant added.
+	declared := map[string]bool{}
+	for _, d := range out.Decls {
+		for _, n := range d.Names {
+			declared[n.Name] = true
+		}
+	}
+	for _, d := range alt.Decls {
+		var extra []*source.DeclName
+		for _, n := range d.Names {
+			if !declared[n.Name] {
+				declared[n.Name] = true
+				extra = append(extra, n)
+			}
+		}
+		if len(extra) > 0 {
+			out.Decls = append(out.Decls, &source.Decl{Type: d.Type, Names: extra})
+		}
+	}
+	out.Body = []source.Stmt{&source.IfStmt{
+		Cond: source.CloneExpr(guard),
+		Then: out.Body,
+		Else: alt.Body,
+	}}
+	return out, nil
+}
+
+// ThresholdGuard builds the guard `v .lt. threshold` — the run-time
+// test derived from a symbolic-comparison crossover.
+func ThresholdGuard(varName string, threshold float64) source.Expr {
+	return &source.BinExpr{
+		Kind: source.BinLT,
+		L:    &source.VarRef{Name: varName},
+		R:    &source.NumLit{Value: float64(int64(threshold) + 1)},
+	}
+}

@@ -1,0 +1,167 @@
+package xform
+
+import (
+	"testing"
+
+	"perfpredict/internal/interp"
+	"perfpredict/internal/machine"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+)
+
+const variantA = `
+subroutine work(n)
+  integer i, j, n
+  real a(64,64), out(64)
+  do i = 1, n
+    do j = 1, n
+      out(i) = out(i) + a(i,j)
+    end do
+  end do
+end
+`
+
+// The heavy-per-element variant: cheaper for large n would be variantA;
+// for tiny n the flat loop with sqrt dominates differently.
+const variantB = `
+subroutine work(n)
+  integer i, n
+  real a(64,64), out(64)
+  do i = 1, n
+    out(i) = sqrt(a(i,1)) + a(i,2) * 3.0
+  end do
+end
+`
+
+func simulateCycles(t *testing.T, p *source.Program, args map[string]float64) int64 {
+	t.Helper()
+	tbl, err := sem.Analyze(p)
+	if err != nil {
+		t.Fatalf("sem: %v\n%s", err, source.PrintProgram(p))
+	}
+	r := interp.New(p, tbl, interp.Options{Machine: machine.NewPOWER1()})
+	for k, v := range args {
+		r.SetScalar(k, v)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return r.Cycles()
+}
+
+func TestVersionedStructure(t *testing.T) {
+	a := parse(t, variantA)
+	b := parse(t, variantB)
+	v, err := Versioned(a, b, ThresholdGuard("n", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Body) != 1 {
+		t.Fatalf("body: %d stmts", len(v.Body))
+	}
+	ifs, ok := v.Body[0].(*source.IfStmt)
+	if !ok || len(ifs.Then) == 0 || len(ifs.Else) == 0 {
+		t.Fatalf("versioned body: %+v", v.Body[0])
+	}
+	// The combined program must analyze and print.
+	if _, err := sem.Analyze(v); err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	if _, err := source.Parse(source.PrintProgram(v)); err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+}
+
+func TestVersionedSelectsByGuard(t *testing.T) {
+	a := parse(t, variantA)
+	b := parse(t, variantB)
+	v, err := Versioned(a, b, ThresholdGuard("n", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below the threshold the first variant runs: its cycle count must
+	// match variant A's; above, variant B's.
+	for _, tc := range []struct {
+		n      float64
+		expect *source.Program
+	}{{3, a}, {32, b}} {
+		got := simulateCycles(t, v, map[string]float64{"n": tc.n})
+		want := simulateCycles(t, tc.expect, map[string]float64{"n": tc.n})
+		// The versioned program adds only the guard's compare+branch.
+		if got < want || got > want+20 {
+			t.Errorf("n=%v: versioned %d vs selected variant %d", tc.n, got, want)
+		}
+	}
+}
+
+func TestVersionedMergesTileDecls(t *testing.T) {
+	src := `
+subroutine work(n)
+  integer i, n
+  real a(4096)
+  do i = 1, n
+    a(i) = real(i)
+  end do
+end
+`
+	orig := parse(t, src)
+	tiled, err := Tile(orig, Path{0}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Versioned(orig, tiled, ThresholdGuard("n", 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// i_t must be declared in the merged program.
+	if _, err := sem.Analyze(v); err != nil {
+		t.Fatalf("merged decls missing: %v\n%s", err, source.PrintProgram(v))
+	}
+	ref := runValues(t, orig, "a", map[string]float64{"n": 100})
+	got := runValues(t, v, "a", map[string]float64{"n": 100})
+	sameValues(t, ref, got, "versioned-tiled")
+}
+
+func TestVersionedParamMismatch(t *testing.T) {
+	a := parse(t, variantA)
+	c := parse(t, "subroutine work(m)\n integer m\n real x\n x = 1.0\nend\n")
+	if _, err := Versioned(a, c, ThresholdGuard("n", 1)); err == nil {
+		t.Error("parameter mismatch accepted")
+	}
+}
+
+// End-to-end §3.4: the versioned program tracks the cheaper variant on
+// both sides of the crossover.
+func TestVersionedBeatsEitherFixedChoice(t *testing.T) {
+	a := parse(t, variantA) // quadratic
+	b := parse(t, variantB) // linear but heavy
+	// Find the simulated crossover.
+	crossover := -1.0
+	for n := 1.0; n <= 64; n++ {
+		ca := simulateCycles(t, a, map[string]float64{"n": n})
+		cb := simulateCycles(t, b, map[string]float64{"n": n})
+		if ca > cb {
+			crossover = n
+			break
+		}
+	}
+	if crossover < 0 {
+		t.Skip("variants do not cross in range")
+	}
+	v, err := Versioned(a, b, ThresholdGuard("n", crossover-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []float64{2, crossover + 10} {
+		cv := simulateCycles(t, v, map[string]float64{"n": n})
+		ca := simulateCycles(t, a, map[string]float64{"n": n})
+		cb := simulateCycles(t, b, map[string]float64{"n": n})
+		best := ca
+		if cb < best {
+			best = cb
+		}
+		if float64(cv) > float64(best)*1.1+20 {
+			t.Errorf("n=%v: versioned %d vs best fixed %d", n, cv, best)
+		}
+	}
+}

@@ -1,0 +1,466 @@
+// Package xform implements the program-restructuring side of the
+// framework (§3): loop transformations on the F-lite AST — unrolling,
+// interchange, tiling (strip-mine and tile), fusion — with legality
+// decided by the dependence tests of package deps, and a systematic
+// best-first search over transformation sequences ranked by the
+// predicted cost (§3.2: "the compiler can utilize graph search
+// algorithms, such as the A* algorithm, to choose program
+// transformation sequences systematically"). Predictions reuse a
+// shared segment cache, realizing the incremental update of §3.3.1.
+package xform
+
+import (
+	"fmt"
+
+	"perfpredict/internal/deps"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+)
+
+// Path addresses a statement in the program body by indices; each
+// step descends into a DO loop's body.
+type Path []int
+
+// locate returns the statement list containing the target and the
+// index within it.
+func locate(p *source.Program, path Path) ([]source.Stmt, int, error) {
+	list := p.Body
+	for d := 0; d < len(path); d++ {
+		i := path[d]
+		if i < 0 || i >= len(list) {
+			return nil, 0, fmt.Errorf("xform: path %v out of range", path)
+		}
+		if d == len(path)-1 {
+			return list, i, nil
+		}
+		loop, ok := list[i].(*source.DoLoop)
+		if !ok {
+			return nil, 0, fmt.Errorf("xform: path %v passes through a non-loop", path)
+		}
+		list = loop.Body
+	}
+	return nil, 0, fmt.Errorf("xform: empty path")
+}
+
+// loopAt fetches the DO loop at path.
+func loopAt(p *source.Program, path Path) (*source.DoLoop, error) {
+	list, i, err := locate(p, path)
+	if err != nil {
+		return nil, err
+	}
+	loop, ok := list[i].(*source.DoLoop)
+	if !ok {
+		return nil, fmt.Errorf("xform: path %v is not a loop", path)
+	}
+	return loop, nil
+}
+
+// LoopSite describes one loop found in the program.
+type LoopSite struct {
+	Path Path
+	Loop *source.DoLoop
+	// Depth is the number of enclosing loops.
+	Depth int
+	// Innermost reports a body free of nested loops.
+	Innermost bool
+	// PerfectParent reports that the loop's body is exactly one nested
+	// loop (candidate for interchange with it).
+	PerfectParent bool
+	// EnclosingVars lists enclosing loop variables, outermost first.
+	EnclosingVars []string
+}
+
+// FindLoops enumerates the loops of a program (pre-order).
+func FindLoops(p *source.Program) []LoopSite {
+	var out []LoopSite
+	var walk func(list []source.Stmt, prefix Path, vars []string)
+	walk = func(list []source.Stmt, prefix Path, vars []string) {
+		for i, s := range list {
+			loop, ok := s.(*source.DoLoop)
+			if !ok {
+				continue
+			}
+			path := append(append(Path{}, prefix...), i)
+			site := LoopSite{
+				Path:          path,
+				Loop:          loop,
+				Depth:         len(vars),
+				Innermost:     !containsLoop(loop.Body),
+				EnclosingVars: append([]string{}, vars...),
+			}
+			if len(loop.Body) == 1 {
+				if _, isLoop := loop.Body[0].(*source.DoLoop); isLoop {
+					site.PerfectParent = true
+				}
+			}
+			out = append(out, site)
+			walk(loop.Body, path, append(vars, loop.Var))
+		}
+	}
+	walk(p.Body, nil, nil)
+	return out
+}
+
+func containsLoop(list []source.Stmt) bool {
+	for _, s := range list {
+		switch x := s.(type) {
+		case *source.DoLoop:
+			return true
+		case *source.IfStmt:
+			if containsLoop(x.Then) || containsLoop(x.Else) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// substituteVar replaces every read of variable v in e by repl.
+func substituteVar(e source.Expr, v string, repl source.Expr) source.Expr {
+	switch x := e.(type) {
+	case *source.VarRef:
+		if x.Name == v {
+			return source.CloneExpr(repl)
+		}
+		return x
+	case *source.ArrayRef:
+		for i := range x.Idx {
+			x.Idx[i] = substituteVar(x.Idx[i], v, repl)
+		}
+		return x
+	case *source.BinExpr:
+		x.L = substituteVar(x.L, v, repl)
+		x.R = substituteVar(x.R, v, repl)
+		return x
+	case *source.UnExpr:
+		x.X = substituteVar(x.X, v, repl)
+		return x
+	case *source.IntrinsicCall:
+		for i := range x.Args {
+			x.Args[i] = substituteVar(x.Args[i], v, repl)
+		}
+		return x
+	default:
+		return e
+	}
+}
+
+func substituteStmts(list []source.Stmt, v string, repl source.Expr) {
+	for _, s := range list {
+		switch x := s.(type) {
+		case *source.Assign:
+			x.LHS = substituteVar(x.LHS, v, repl)
+			x.RHS = substituteVar(x.RHS, v, repl)
+		case *source.DoLoop:
+			x.Lb = substituteVar(x.Lb, v, repl)
+			x.Ub = substituteVar(x.Ub, v, repl)
+			if x.Step != nil {
+				x.Step = substituteVar(x.Step, v, repl)
+			}
+			if x.Var != v {
+				substituteStmts(x.Body, v, repl)
+			}
+		case *source.IfStmt:
+			x.Cond = substituteVar(x.Cond, v, repl)
+			substituteStmts(x.Then, v, repl)
+			substituteStmts(x.Else, v, repl)
+		case *source.CallStmt:
+			for i := range x.Args {
+				x.Args[i] = substituteVar(x.Args[i], v, repl)
+			}
+		}
+	}
+}
+
+// Unroll replicates the loop body factor times, stepping the loop by
+// factor·step, and appends a remainder loop covering the leftover
+// iterations. Unrolling reorders nothing, so it is always legal.
+func Unroll(p *source.Program, path Path, factor int) (*source.Program, error) {
+	if factor < 2 {
+		return nil, fmt.Errorf("xform: unroll factor %d", factor)
+	}
+	c := source.CloneProgram(p)
+	loop, err := loopAt(c, path)
+	if err != nil {
+		return nil, err
+	}
+	step := int64(1)
+	if loop.Step != nil {
+		tbl, err := sem.Analyze(c)
+		if err != nil {
+			return nil, err
+		}
+		sv, ok := tbl.IntConst(loop.Step)
+		if !ok || sv == 0 {
+			return nil, fmt.Errorf("xform: unroll requires a constant step")
+		}
+		step = sv
+	}
+	if step < 0 {
+		return nil, fmt.Errorf("xform: unroll of downward loops unsupported")
+	}
+	f := int64(factor)
+
+	var newBody []source.Stmt
+	for k := int64(0); k < f; k++ {
+		copyBody := source.CloneStmts(loop.Body)
+		if k > 0 {
+			repl := &source.BinExpr{
+				Kind: source.BinAdd,
+				L:    &source.VarRef{Name: loop.Var},
+				R:    &source.NumLit{Value: float64(k * step)},
+			}
+			substituteStmts(copyBody, loop.Var, repl)
+		}
+		newBody = append(newBody, copyBody...)
+	}
+
+	// Remainder loop: starts where the main loop stopped:
+	// lb + ((ub−lb+step)/(f·step))·(f·step).
+	trips := &source.BinExpr{Kind: source.BinDiv,
+		L: &source.BinExpr{Kind: source.BinAdd,
+			L: &source.BinExpr{Kind: source.BinSub, L: source.CloneExpr(loop.Ub), R: source.CloneExpr(loop.Lb)},
+			R: &source.NumLit{Value: float64(step)}},
+		R: &source.NumLit{Value: float64(f * step)},
+	}
+	remLb := &source.BinExpr{Kind: source.BinAdd,
+		L: source.CloneExpr(loop.Lb),
+		R: &source.BinExpr{Kind: source.BinMul, L: trips, R: &source.NumLit{Value: float64(f * step)}},
+	}
+	remainder := &source.DoLoop{
+		Var:  loop.Var,
+		Lb:   remLb,
+		Ub:   source.CloneExpr(loop.Ub),
+		Step: cloneStep(loop.Step),
+		Body: source.CloneStmts(loop.Body),
+		Pos:  loop.Pos,
+	}
+
+	// Main loop: ub − (f−1)·step with step f·step.
+	loop.Ub = &source.BinExpr{Kind: source.BinSub,
+		L: loop.Ub,
+		R: &source.NumLit{Value: float64((f - 1) * step)},
+	}
+	loop.Step = &source.NumLit{Value: float64(f * step)}
+	loop.Body = newBody
+
+	list, i, err := locate(c, path)
+	if err != nil {
+		return nil, err
+	}
+	newList := append(append(append([]source.Stmt{}, list[:i+1]...), remainder), list[i+1:]...)
+	if err := replaceList(c, path, newList); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func cloneStep(s source.Expr) source.Expr {
+	if s == nil {
+		return nil
+	}
+	return source.CloneExpr(s)
+}
+
+// replaceList rewrites the statement list containing the target of
+// path.
+func replaceList(p *source.Program, path Path, newList []source.Stmt) error {
+	if len(path) == 1 {
+		p.Body = newList
+		return nil
+	}
+	parent, err := loopAt(p, path[:len(path)-1])
+	if err != nil {
+		return err
+	}
+	parent.Body = newList
+	return nil
+}
+
+// Interchange swaps a loop with the single loop its body consists of.
+// Legal when the nest is perfect, the inner bounds do not reference the
+// outer variable, and no dependence direction vector forbids the swap.
+func Interchange(p *source.Program, path Path) (*source.Program, error) {
+	c := source.CloneProgram(p)
+	outer, err := loopAt(c, path)
+	if err != nil {
+		return nil, err
+	}
+	if len(outer.Body) != 1 {
+		return nil, fmt.Errorf("xform: interchange requires a perfect nest")
+	}
+	inner, ok := outer.Body[0].(*source.DoLoop)
+	if !ok {
+		return nil, fmt.Errorf("xform: interchange requires a nested loop")
+	}
+	if exprUsesVar(inner.Lb, outer.Var) || exprUsesVar(inner.Ub, outer.Var) {
+		return nil, fmt.Errorf("xform: inner bounds depend on the outer variable")
+	}
+	tbl, err := sem.Analyze(c)
+	if err != nil {
+		return nil, err
+	}
+	ds := deps.Analyze(tbl, []*source.DoLoop{outer, inner}, inner.Body)
+	if !deps.InterchangeLegal(ds, 0, 1) {
+		return nil, fmt.Errorf("xform: interchange is illegal (dependence)")
+	}
+	outer.Var, inner.Var = inner.Var, outer.Var
+	outer.Lb, inner.Lb = inner.Lb, outer.Lb
+	outer.Ub, inner.Ub = inner.Ub, outer.Ub
+	outer.Step, inner.Step = inner.Step, outer.Step
+	return c, nil
+}
+
+func exprUsesVar(e source.Expr, v string) bool {
+	used := false
+	var walk func(x source.Expr)
+	walk = func(x source.Expr) {
+		switch y := x.(type) {
+		case *source.VarRef:
+			if y.Name == v {
+				used = true
+			}
+		case *source.ArrayRef:
+			for _, ix := range y.Idx {
+				walk(ix)
+			}
+		case *source.BinExpr:
+			walk(y.L)
+			walk(y.R)
+		case *source.UnExpr:
+			walk(y.X)
+		case *source.IntrinsicCall:
+			for _, a := range y.Args {
+				walk(a)
+			}
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return used
+}
+
+// Tile strip-mines a loop into a tile loop and an element loop of the
+// given size (always legal on its own). A fresh integer control
+// variable `<var>_t` is declared.
+func Tile(p *source.Program, path Path, size int) (*source.Program, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("xform: tile size %d", size)
+	}
+	c := source.CloneProgram(p)
+	loop, err := loopAt(c, path)
+	if err != nil {
+		return nil, err
+	}
+	if loop.Step != nil {
+		return nil, fmt.Errorf("xform: tiling stepped loops unsupported")
+	}
+	tileVar := loop.Var + "_t"
+	if varDeclared(c, tileVar) {
+		tileVar = tileVar + "t"
+	}
+	c.Decls = append(c.Decls, &source.Decl{
+		Type:  source.TypeInteger,
+		Names: []*source.DeclName{{Name: tileVar}},
+	})
+	inner := &source.DoLoop{
+		Var: loop.Var,
+		Lb:  &source.VarRef{Name: tileVar},
+		Ub: &source.IntrinsicCall{Name: "min", Args: []source.Expr{
+			&source.BinExpr{Kind: source.BinAdd,
+				L: &source.VarRef{Name: tileVar},
+				R: &source.NumLit{Value: float64(size - 1)}},
+			source.CloneExpr(loop.Ub),
+		}},
+		Body: loop.Body,
+		Pos:  loop.Pos,
+	}
+	loop.Var = tileVar
+	loop.Step = &source.NumLit{Value: float64(size)}
+	loop.Body = []source.Stmt{inner}
+	return c, nil
+}
+
+func varDeclared(p *source.Program, name string) bool {
+	for _, d := range p.Decls {
+		for _, n := range d.Names {
+			if n.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Distribute splits the loop at path into two loops after statement
+// `cut` (loop fission). Distribution is the inverse of fusion: it is
+// legal exactly when fusing the two result loops back would be, i.e.
+// no dependence runs from the second part to a later iteration of the
+// first.
+func Distribute(p *source.Program, path Path, cut int) (*source.Program, error) {
+	c := source.CloneProgram(p)
+	loop, err := loopAt(c, path)
+	if err != nil {
+		return nil, err
+	}
+	if cut <= 0 || cut >= len(loop.Body) {
+		return nil, fmt.Errorf("xform: cut %d outside body of %d statements", cut, len(loop.Body))
+	}
+	second := &source.DoLoop{
+		Var:  loop.Var,
+		Lb:   source.CloneExpr(loop.Lb),
+		Ub:   source.CloneExpr(loop.Ub),
+		Step: cloneStep(loop.Step),
+		Body: loop.Body[cut:],
+		Pos:  loop.Pos,
+	}
+	loop.Body = loop.Body[:cut]
+	tbl, err := sem.Analyze(c)
+	if err != nil {
+		return nil, err
+	}
+	if !deps.FusionLegal(tbl, loop, second) {
+		return nil, fmt.Errorf("xform: distribution at %d is illegal (loop-carried dependence across the cut)", cut)
+	}
+	list, i, err := locate(c, path)
+	if err != nil {
+		return nil, err
+	}
+	newList := append(append(append([]source.Stmt{}, list[:i+1]...), second), list[i+1:]...)
+	if err := replaceList(c, path, newList); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Fuse merges the loop at path with the immediately following loop in
+// the same statement list, when legal.
+func Fuse(p *source.Program, path Path) (*source.Program, error) {
+	c := source.CloneProgram(p)
+	list, i, err := locate(c, path)
+	if err != nil {
+		return nil, err
+	}
+	if i+1 >= len(list) {
+		return nil, fmt.Errorf("xform: no following loop to fuse")
+	}
+	first, ok1 := list[i].(*source.DoLoop)
+	second, ok2 := list[i+1].(*source.DoLoop)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("xform: fusion requires two adjacent loops")
+	}
+	tbl, err := sem.Analyze(c)
+	if err != nil {
+		return nil, err
+	}
+	if !deps.FusionLegal(tbl, first, second) {
+		return nil, fmt.Errorf("xform: fusion is illegal")
+	}
+	first.Body = append(first.Body, second.Body...)
+	newList := append(append([]source.Stmt{}, list[:i+1]...), list[i+2:]...)
+	if err := replaceList(c, path, newList); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
