@@ -100,30 +100,7 @@ func Predict(src string, target *Target) (*Prediction, error) {
 // PredictWithOptions exposes the aggregation knobs (back-end
 // imitation flags, focus span, steady-state drops, branch heuristics).
 func PredictWithOptions(src string, target *Target, opt aggregate.Options) (*Prediction, error) {
-	prog, err := source.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	tbl, err := sem.Analyze(prog)
-	if err != nil {
-		return nil, err
-	}
-	est := aggregate.New(tbl, target, opt)
-	res, err := est.Program(prog)
-	if err != nil {
-		return nil, err
-	}
-	p := &Prediction{
-		Cost:    res.Cost,
-		OneTime: res.OneTime,
-		prog:    prog,
-		tbl:     tbl,
-		mach:    target,
-	}
-	for _, u := range res.Unknowns {
-		p.Unknowns = append(p.Unknowns, Unknown{Name: string(u.Var), Kind: u.Kind, Source: u.Desc})
-	}
-	return p, nil
+	return predictWithCache(src, target, opt, nil)
 }
 
 // EvalAt substitutes concrete values for the unknowns and returns

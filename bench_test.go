@@ -30,6 +30,7 @@ import (
 // BenchmarkFig7StraightLine (E1): the Figure 7 block set — prediction,
 // reference, baseline per kernel block.
 func BenchmarkFig7StraightLine(b *testing.B) {
+	b.ReportAllocs()
 	target := POWER1()
 	set := kernels.Figure7Set()
 	var meanErr float64
@@ -50,6 +51,7 @@ func BenchmarkFig7StraightLine(b *testing.B) {
 // BenchmarkFig9Overlap (E2): shape concatenation vs full re-placement
 // over all kernel-block pairs.
 func BenchmarkFig9Overlap(b *testing.B) {
+	b.ReportAllocs()
 	m := machine.NewPOWER1()
 	var blocks []*ir.Block
 	var shapes []tetris.CostBlock
@@ -87,10 +89,12 @@ func BenchmarkFig9Overlap(b *testing.B) {
 // BenchmarkTetrisScaling (E3): placement cost per operation at two
 // block sizes — the linear-time claim.
 func BenchmarkTetrisScaling(b *testing.B) {
+	b.ReportAllocs()
 	m := machine.NewPOWER1()
 	for _, n := range []int{256, 4096} {
 		blk := syntheticBlock(n)
 		b.Run(fmt.Sprintf("ops%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := tetris.Estimate(m, blk, tetris.Options{FocusSpan: 64}); err != nil {
 					b.Fatal(err)
@@ -121,6 +125,7 @@ func syntheticBlock(n int) *ir.Block {
 // BenchmarkUnrollChoice (E4): predict the best unroll factor for the
 // Jacobi kernel.
 func BenchmarkUnrollChoice(b *testing.B) {
+	b.ReportAllocs()
 	k, err := kernels.Get("jacobi")
 	if err != nil {
 		b.Fatal(err)
@@ -167,6 +172,7 @@ func BenchmarkUnrollChoice(b *testing.B) {
 // BenchmarkSymbolicCompare (E5): sign-region comparison of two
 // performance expressions including root isolation.
 func BenchmarkSymbolicCompare(b *testing.B) {
+	b.ReportAllocs()
 	n := symexpr.Var("n")
 	quad := symexpr.NewVar(n).Pow(2).Scale(2.25).Add(symexpr.NewVar(n)).AddConst(8)
 	lin := symexpr.NewVar(n).Scale(34.75).AddConst(7)
@@ -187,6 +193,7 @@ func BenchmarkSymbolicCompare(b *testing.B) {
 // BenchmarkCondSimplify (E6): aggregation of the §3.3.2 loop-index
 // conditional, reporting the prediction error vs simulation at k=1000.
 func BenchmarkCondSimplify(b *testing.B) {
+	b.ReportAllocs()
 	k, err := kernels.Get("condsplit")
 	if err != nil {
 		b.Fatal(err)
@@ -214,6 +221,7 @@ func BenchmarkCondSimplify(b *testing.B) {
 // BenchmarkCacheModel (E7): FST line counting for the matmul nest,
 // reporting the model/simulator miss ratio at n=64.
 func BenchmarkCacheModel(b *testing.B) {
+	b.ReportAllocs()
 	src := `
 program matmul
   integer i, j, k, n
@@ -279,6 +287,7 @@ end
 // BenchmarkWholeProgram (E8): aggregated prediction of every kernel,
 // reporting the mean pred/sim ratio.
 func BenchmarkWholeProgram(b *testing.B) {
+	b.ReportAllocs()
 	target := POWER1()
 	type pair struct {
 		k   kernels.Kernel
@@ -318,6 +327,7 @@ func BenchmarkWholeProgram(b *testing.B) {
 // BenchmarkAStarSearch (E9): best-first transformation search on the
 // matmul nest.
 func BenchmarkAStarSearch(b *testing.B) {
+	b.ReportAllocs()
 	k, err := kernels.Get("matmul")
 	if err != nil {
 		b.Fatal(err)
@@ -342,6 +352,7 @@ func BenchmarkAStarSearch(b *testing.B) {
 // BenchmarkBaselineError (E10): the op-count model's factor over the
 // reference, worst case across the Figure 7 set.
 func BenchmarkBaselineError(b *testing.B) {
+	b.ReportAllocs()
 	target := POWER1()
 	set := kernels.Figure7Set()
 	var worst float64
@@ -361,6 +372,7 @@ func BenchmarkBaselineError(b *testing.B) {
 // BenchmarkSensitivity (E11): ranking the unknowns of a three-loop
 // program.
 func BenchmarkSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	src := `
 subroutine p(n, k, m)
   integer i, j, n, k, m
@@ -400,6 +412,7 @@ end
 // BenchmarkPartitioning (E12): block-vs-cyclic communication estimate
 // plus the symbolic comparison over P.
 func BenchmarkPartitioning(b *testing.B) {
+	b.ReportAllocs()
 	k, err := kernels.Get("stencil_dist")
 	if err != nil {
 		b.Fatal(err)
@@ -424,6 +437,7 @@ func BenchmarkPartitioning(b *testing.B) {
 // BenchmarkIncrementalUpdate (E13): prediction of transformation
 // variants with a shared segment cache.
 func BenchmarkIncrementalUpdate(b *testing.B) {
+	b.ReportAllocs()
 	k, err := kernels.Get("matmul")
 	if err != nil {
 		b.Fatal(err)
@@ -442,6 +456,7 @@ func BenchmarkIncrementalUpdate(b *testing.B) {
 		}
 	}
 	b.Run("shared-cache", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cache := aggregate.NewSegCache()
 			for _, v := range variants {
@@ -452,6 +467,7 @@ func BenchmarkIncrementalUpdate(b *testing.B) {
 		}
 	})
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, v := range variants {
 				if _, err := xform.Predict(v, opt, aggregate.NewSegCache()); err != nil {
@@ -465,12 +481,14 @@ func BenchmarkIncrementalUpdate(b *testing.B) {
 // BenchmarkPredictorEfficiency (E14): predictor throughput vs one
 // dynamic simulation of the same kernel.
 func BenchmarkPredictorEfficiency(b *testing.B) {
+	b.ReportAllocs()
 	k, err := kernels.Get("matmul44")
 	if err != nil {
 		b.Fatal(err)
 	}
 	target := POWER1()
 	b.Run("predict", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := Predict(k.Src, target); err != nil {
 				b.Fatal(err)
@@ -478,6 +496,7 @@ func BenchmarkPredictorEfficiency(b *testing.B) {
 		}
 	})
 	b.Run("simulate", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := Simulate(k.Src, target, k.Args); err != nil {
 				b.Fatal(err)
@@ -489,6 +508,7 @@ func BenchmarkPredictorEfficiency(b *testing.B) {
 // BenchmarkPipesimThroughput: raw reference-simulator speed on a
 // scheduled block (supporting number for E14).
 func BenchmarkPipesimThroughput(b *testing.B) {
+	b.ReportAllocs()
 	m := machine.NewPOWER1()
 	blk := syntheticBlock(1024)
 	sched := pipesim.Schedule(m, blk)
@@ -504,6 +524,7 @@ func BenchmarkPipesimThroughput(b *testing.B) {
 // BenchmarkAblations (A1): the full model against its ablated variants
 // on one representative kernel block.
 func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
 	k, err := kernels.Get("matmul44")
 	if err != nil {
 		b.Fatal(err)
@@ -522,6 +543,7 @@ func BenchmarkAblations(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var pred float64
 			for i := 0; i < b.N; i++ {
 				rep, err := AnalyzeInnermostBlockWithOptions(k.Src, m, c.lopt, c.topt)
@@ -532,5 +554,48 @@ func BenchmarkAblations(b *testing.B) {
 			}
 			b.ReportMetric(pred, "predicted-cycles")
 		})
+	}
+}
+
+// BenchmarkPredictBatch (E15): the concurrent batch-prediction
+// pipeline over every built-in kernel, serial pool vs one worker per
+// core, sharing the sharded segment cache. The parallel/serial ratio
+// is the pipeline's speedup; on a single-core machine the two run the
+// same code path.
+func BenchmarkPredictBatch(b *testing.B) {
+	b.ReportAllocs()
+	target := POWER1()
+	var srcs []string
+	for _, k := range kernels.All() {
+		srcs = append(srcs, k.Src)
+	}
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, errs := PredictBatch(srcs, target, BatchOptions{Workers: workers})
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("parallel", run(0))
+}
+
+// BenchmarkPolyMul: product of two multivariate performance
+// expressions — the symbolic-arithmetic inner loop of aggregation,
+// kept allocation-lean by monomial-key interning.
+func BenchmarkPolyMul(b *testing.B) {
+	b.ReportAllocs()
+	n, m, p := symexpr.Var("n"), symexpr.Var("m"), symexpr.Var("p")
+	a := symexpr.NewVar(n).Pow(2).Scale(3).Add(symexpr.NewVar(m).Mul(symexpr.NewVar(n))).AddConst(7)
+	c := symexpr.NewVar(p).Scale(2.5).Add(symexpr.NewVar(m).Pow(3)).Add(symexpr.NewVar(n)).AddConst(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Mul(c)
 	}
 }

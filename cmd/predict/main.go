@@ -6,8 +6,12 @@
 //
 //	predict [-machine POWER1|SuperScalar2|Scalar1] [-args n=1000,alpha=2]
 //	        [-simulate] [-block] [-optimize] file.f
+//	predict [-machine M] [-args ...] [-parallel N] file1.f file2.f ...
 //
 // With no file, a built-in kernel name may be given via -kernel.
+// Several files select batch mode: they are priced concurrently on a
+// worker pool (bounded by -parallel, default GOMAXPROCS) sharing one
+// segment-cost cache, and a one-line summary is printed per file.
 package main
 
 import (
@@ -29,6 +33,7 @@ func main() {
 	simulate := flag.Bool("simulate", false, "also run the reference pipeline simulation")
 	block := flag.Bool("block", false, "analyze the innermost basic block (Figure 7 style)")
 	optimize := flag.Bool("optimize", false, "search transformations for a faster variant")
+	parallel := flag.Int("parallel", 0, "batch worker pool size (0 = GOMAXPROCS); used with multiple files")
 	flag.Parse()
 
 	var target *perfpredict.Target
@@ -43,11 +48,20 @@ func main() {
 		fatalf("unknown machine %q", *machineName)
 	}
 
+	args := parseArgs(*argList)
+
+	if *kernel == "" && len(flag.Args()) > 1 {
+		if *simulate || *block || *optimize {
+			fatalf("-simulate, -block and -optimize apply to a single input")
+		}
+		runBatch(flag.Args(), target, args, *parallel)
+		return
+	}
+
 	src, err := loadSource(*kernel, flag.Args())
 	if err != nil {
 		fatalf("%v", err)
 	}
-	args := parseArgs(*argList)
 
 	pred, err := perfpredict.Predict(src, target)
 	if err != nil {
@@ -119,6 +133,42 @@ func main() {
 		} else {
 			fmt.Println("no improving transformation found")
 		}
+	}
+}
+
+// runBatch prices every file concurrently through PredictBatch and
+// prints one summary line per file, index-aligned with the inputs.
+func runBatch(files []string, target *perfpredict.Target, args map[string]float64, workers int) {
+	srcs := make([]string, len(files))
+	for i, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		srcs[i] = string(data)
+	}
+	cache := perfpredict.NewSegmentCache()
+	preds, errs := perfpredict.PredictBatch(srcs, target, perfpredict.BatchOptions{Workers: workers, Cache: cache})
+	fmt.Printf("machine:      %s\n", target.Name)
+	failed := 0
+	for i, f := range files {
+		if errs[i] != nil {
+			fmt.Printf("%-24s error: %v\n", f+":", errs[i])
+			failed++
+			continue
+		}
+		fmt.Printf("%-24s %s cycles", f+":", preds[i].Cost)
+		if len(args) > 0 {
+			if v, err := preds[i].EvalAt(args); err == nil {
+				fmt.Printf(" = %.0f at %v", v, args)
+			}
+		}
+		fmt.Println()
+	}
+	hits, misses := cache.Stats()
+	fmt.Printf("segment cache: %d hits, %d misses\n", hits, misses)
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 

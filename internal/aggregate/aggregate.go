@@ -11,6 +11,8 @@ package aggregate
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"perfpredict/internal/ir"
 	"perfpredict/internal/lower"
@@ -81,11 +83,28 @@ type Result struct {
 // (§3.3.1): a transformation's *affected region* re-prices only the
 // segments it changed; unchanged segments hit the cache. Share one
 // SegCache across the program variants explored by a transformation
-// search.
+// search, or across the workers of a batch prediction.
+//
+// A SegCache is safe for concurrent use by multiple goroutines: the
+// entry table is striped over segShards mutex-guarded shards (selected
+// by an FNV-1a hash of the segment key), and the hit/miss counters are
+// atomic. Two estimators missing on the same key concurrently may both
+// price the segment, but the entries they store are identical, so
+// results are deterministic regardless of interleaving.
 type SegCache struct {
+	shards [segShards]segCacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// segShards is the stripe count: enough to keep contention negligible
+// for worker pools up to a few dozen goroutines, small enough that an
+// idle cache stays cheap.
+const segShards = 32
+
+type segCacheShard struct {
+	mu      sync.RWMutex
 	entries map[string]segEntry
-	hits    int
-	misses  int
 }
 
 type segEntry struct {
@@ -94,11 +113,67 @@ type segEntry struct {
 	entry float64
 }
 
-// NewSegCache creates an empty segment cache.
-func NewSegCache() *SegCache { return &SegCache{entries: map[string]segEntry{}} }
+// NewSegCache creates an empty segment cache, ready for concurrent
+// use. Shard tables are created lazily on first store, so a private
+// per-estimator cache costs one allocation.
+func NewSegCache() *SegCache { return &SegCache{} }
 
-// Stats reports hits and misses so far.
-func (c *SegCache) Stats() (hits, misses int) { return c.hits, c.misses }
+// shard selects the stripe for a key (inlined FNV-1a over the key
+// bytes; no allocation).
+func (c *SegCache) shard(key string) *segCacheShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return &c.shards[h%segShards]
+}
+
+// lookup returns the cached entry for key, counting a hit or miss.
+func (c *SegCache) lookup(key string) (segEntry, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	ent, ok := s.entries[key]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return ent, ok
+}
+
+// store records an entry for key.
+func (c *SegCache) store(key string, ent segEntry) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if s.entries == nil {
+		s.entries = map[string]segEntry{}
+	}
+	s.entries[key] = ent
+	s.mu.Unlock()
+}
+
+// Stats reports hits and misses so far. Safe to call concurrently with
+// ongoing estimations.
+func (c *SegCache) Stats() (hits, misses int) {
+	return int(c.hits.Load()), int(c.misses.Load())
+}
+
+// Len reports the number of cached segment entries.
+func (c *SegCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].entries)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}
 
 // Estimator aggregates costs for one program unit on one machine.
 type Estimator struct {
@@ -114,13 +189,24 @@ type Estimator struct {
 	cache    *SegCache
 }
 
-// New creates an estimator.
+// New creates an estimator with a private segment cache.
+//
+// An Estimator itself is single-goroutine state; to predict
+// concurrently, give each goroutine its own Estimator. They may share
+// one SegCache (see NewWithCache).
 func New(tbl *sem.Table, m *machine.Machine, opt Options) *Estimator {
 	return NewWithCache(tbl, m, opt, nil)
 }
 
 // NewWithCache creates an estimator sharing a segment cache (pass nil
 // for a private one).
+//
+// Concurrency contract: the SegCache is safe to share between
+// estimators running on different goroutines — cached segment costs
+// depend only on the segment key, so concurrent fills are idempotent
+// and predictions are byte-identical to serial runs. The Estimator
+// returned here, like the one from New, must not itself be used from
+// more than one goroutine at a time.
 func NewWithCache(tbl *sem.Table, m *machine.Machine, opt Options, cache *SegCache) *Estimator {
 	if opt.SteadyStateIters <= 0 {
 		opt.SteadyStateIters = 4
@@ -290,12 +376,10 @@ func isStraight(s source.Stmt) bool {
 // bins); the hoisted preheader cost accumulates into the one-time bin.
 func (e *Estimator) straight(stmts []source.Stmt, loopVars []string, inLoop bool) (cost, error) {
 	key := segKey(stmts, loopVars, inLoop)
-	if ent, ok := e.cache.entries[key]; ok {
-		e.cache.hits++
+	if ent, ok := e.cache.lookup(key); ok {
 		e.pre = e.pre.AddConst(ent.pre)
 		return cost{base: symexpr.Const(ent.iter), entry: symexpr.Const(ent.entry)}, nil
 	}
-	e.cache.misses++
 	lw, err := e.trans.Body(stmts, loopVars)
 	if err != nil {
 		return cost{}, err
@@ -344,7 +428,7 @@ func (e *Estimator) straight(stmts []source.Stmt, loopVars []string, inLoop bool
 		}
 		ent.entry += float64(res.Cost)
 	}
-	e.cache.entries[key] = ent
+	e.cache.store(key, ent)
 	return cost{base: symexpr.Const(ent.iter), entry: symexpr.Const(ent.entry)}, nil
 }
 

@@ -3,6 +3,7 @@ package ir
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Reg is a virtual register. Lowering produces SSA-like code: every
@@ -135,72 +136,132 @@ func (b *Block) MaxReg() Reg {
 // uses the result of another cannot drop past it into the bins.
 func (b *Block) Deps(mayAlias bool) [][]int {
 	n := len(b.Instrs)
-	deps := make([][]int, n)
-	def := map[Reg]int{}
-	lastWrite := map[string]int{} // addr -> instr index
-	lastReads := map[string][]int{}
-	lastBaseWrite := map[string]int{}
-	lastBaseReads := map[string][]int{}
-
-	add := func(i, j int) {
-		if j < 0 || j >= i {
-			return
-		}
-		for _, e := range deps[i] {
-			if e == j {
-				return
-			}
-		}
-		deps[i] = append(deps[i], j)
-	}
+	sc := depsPool.Get().(*depsScratch)
+	defer depsPool.Put(sc)
+	sc.reset(int(b.MaxReg()) + 1)
 
 	for i, in := range b.Instrs {
 		for _, s := range in.Srcs {
 			if s == NoReg {
 				continue
 			}
-			if p, ok := def[s]; ok {
-				add(i, p)
+			if p := sc.def[s]; p >= 0 {
+				sc.add(i, p)
 			}
 		}
 		if in.Op.IsMem() {
 			addr, base := in.Addr, in.Base
 			if in.Op.IsLoad() {
-				if w, ok := lastWrite[addr]; ok {
-					add(i, w) // RAW same address
+				if w, ok := sc.lastWrite[addr]; ok {
+					sc.add(i, w) // RAW same address
 				} else if mayAlias {
-					if w, ok := lastBaseWrite[base]; ok {
-						add(i, w)
+					if w, ok := sc.lastBaseWrite[base]; ok {
+						sc.add(i, w)
 					}
 				}
-				lastReads[addr] = append(lastReads[addr], i)
-				lastBaseReads[base] = append(lastBaseReads[base], i)
+				sc.lastReads[addr] = append(sc.lastReads[addr], i)
+				sc.lastBaseReads[base] = append(sc.lastBaseReads[base], i)
 			} else { // store
-				if w, ok := lastWrite[addr]; ok {
-					add(i, w) // WAW
+				if w, ok := sc.lastWrite[addr]; ok {
+					sc.add(i, w) // WAW
 				}
-				for _, r := range lastReads[addr] {
-					add(i, r) // WAR
+				for _, r := range sc.lastReads[addr] {
+					sc.add(i, r) // WAR
 				}
 				if mayAlias {
-					if w, ok := lastBaseWrite[base]; ok {
-						add(i, w)
+					if w, ok := sc.lastBaseWrite[base]; ok {
+						sc.add(i, w)
 					}
-					for _, r := range lastBaseReads[base] {
-						add(i, r)
+					for _, r := range sc.lastBaseReads[base] {
+						sc.add(i, r)
 					}
-					lastBaseReads[base] = nil
+					sc.lastBaseReads[base] = sc.lastBaseReads[base][:0]
 				}
-				lastWrite[addr] = i
-				lastBaseWrite[base] = i
-				lastReads[addr] = nil
+				sc.lastWrite[addr] = i
+				sc.lastBaseWrite[base] = i
+				sc.lastReads[addr] = sc.lastReads[addr][:0]
 			}
 		}
 		if in.Op.HasDst() && in.Dst != NoReg {
-			def[in.Dst] = i
+			sc.def[in.Dst] = i
+		}
+	}
+
+	// Bucket the edge pairs into the returned slice-of-slices through a
+	// single shared arena: two allocations total instead of one small
+	// slice per instruction with dependences.
+	deps := make([][]int, n)
+	if len(sc.edges) == 0 {
+		return deps
+	}
+	arena := make([]int, 0, len(sc.edges))
+	start := 0
+	for k := 1; k <= len(sc.edges); k++ {
+		if k == len(sc.edges) || sc.edges[k].i != sc.edges[start].i {
+			lo := len(arena)
+			for _, e := range sc.edges[start:k] {
+				arena = append(arena, e.j)
+			}
+			deps[sc.edges[start].i] = arena[lo:len(arena):len(arena)]
+			start = k
 		}
 	}
 	return deps
+}
+
+// depEdge is one dependence pair (instruction i waits for j).
+type depEdge struct{ i, j int }
+
+// depsScratch is the pooled working state of Deps. Edges are collected
+// flat; because instructions are scanned in order, all edges of one
+// instruction are contiguous at the tail, which makes deduplication a
+// backward scan and the final bucketing a single pass.
+type depsScratch struct {
+	edges         []depEdge
+	def           []int // reg -> defining instr index, -1 if none
+	lastWrite     map[string]int
+	lastReads     map[string][]int
+	lastBaseWrite map[string]int
+	lastBaseReads map[string][]int
+}
+
+var depsPool = sync.Pool{New: func() any { return new(depsScratch) }}
+
+func (sc *depsScratch) reset(nregs int) {
+	sc.edges = sc.edges[:0]
+	if cap(sc.def) < nregs {
+		sc.def = make([]int, nregs)
+	}
+	sc.def = sc.def[:nregs]
+	for i := range sc.def {
+		sc.def[i] = -1
+	}
+	if sc.lastWrite == nil {
+		sc.lastWrite = map[string]int{}
+		sc.lastReads = map[string][]int{}
+		sc.lastBaseWrite = map[string]int{}
+		sc.lastBaseReads = map[string][]int{}
+		return
+	}
+	clear(sc.lastWrite)
+	clear(sc.lastReads)
+	clear(sc.lastBaseWrite)
+	clear(sc.lastBaseReads)
+}
+
+// add records that instruction i depends on j, skipping self/forward
+// edges and duplicates (found by scanning the contiguous tail of edges
+// already recorded for i).
+func (sc *depsScratch) add(i, j int) {
+	if j < 0 || j >= i {
+		return
+	}
+	for k := len(sc.edges) - 1; k >= 0 && sc.edges[k].i == i; k-- {
+		if sc.edges[k].j == j {
+			return
+		}
+	}
+	sc.edges = append(sc.edges, depEdge{i, j})
 }
 
 // CriticalPathLen returns the length (in instructions) of the longest

@@ -2,6 +2,7 @@ package lower
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"perfpredict/internal/ir"
@@ -426,11 +427,17 @@ func (tr *Translator) convert(r ir.Reg, from, to source.Type) ir.Reg {
 // other subscripts are lowered as integer arithmetic feeding an
 // address computation.
 func (tr *Translator) arrayAddr(a *source.ArrayRef) (string, []ir.Reg, error) {
-	parts := make([]string, len(a.Idx))
+	addr, cached := tr.addrCache[a]
+	var parts []string
+	if !cached {
+		parts = make([]string, len(a.Idx))
+	}
 	var addrRegs []ir.Reg
 	for i, ix := range a.Idx {
 		str, cheap := tr.subscriptString(ix)
-		parts[i] = str
+		if !cached {
+			parts[i] = str
+		}
 		if cheap {
 			continue
 		}
@@ -448,35 +455,54 @@ func (tr *Translator) arrayAddr(a *source.ArrayRef) (string, []ir.Reg, error) {
 		tr.body.Append(ir.Instr{Op: ir.OpAddr, Dst: dst, Srcs: []ir.Reg{r, ir.NoReg}})
 		addrRegs = append(addrRegs, dst)
 	}
-	return a.Name + "(" + strings.Join(parts, ",") + ")", addrRegs, nil
+	if !cached {
+		addr = a.Name + "(" + strings.Join(parts, ",") + ")"
+		tr.addrCache[a] = addr
+	}
+	return addr, addrRegs, nil
 }
 
 // subscriptString canonicalizes a subscript to "c*v+d" normal form when
 // it is affine in a single integer variable, reporting whether the
 // addressing hardware folds it for free (constant, or stride ±1).
+// Results are memoized per AST node: the normal form depends only on
+// the (immutable) node and the symbol table.
 func (tr *Translator) subscriptString(e source.Expr) (string, bool) {
+	if ent, ok := tr.subCache[e]; ok {
+		return ent.s, ent.cheap
+	}
+	s, cheap := tr.subscriptStringSlow(e)
+	tr.subCache[e] = subEntry{s, cheap}
+	return s, cheap
+}
+
+func (tr *Translator) subscriptStringSlow(e source.Expr) (string, bool) {
 	v, c, d, ok := tr.affineSubscript(e)
 	if !ok {
 		return source.ExprString(e), false
 	}
 	if v == "" || c == 0 {
-		return fmt.Sprintf("%d", d), true
+		return strconv.FormatInt(d, 10), true
 	}
-	var b strings.Builder
+	var buf []byte
 	switch c {
 	case 1:
-		b.WriteString(v)
+		buf = append(buf, v...)
 	case -1:
-		b.WriteString("-" + v)
+		buf = append(buf, '-')
+		buf = append(buf, v...)
 	default:
-		fmt.Fprintf(&b, "%d*%s", c, v)
+		buf = strconv.AppendInt(buf, c, 10)
+		buf = append(buf, '*')
+		buf = append(buf, v...)
 	}
-	if d > 0 {
-		fmt.Fprintf(&b, "+%d", d)
-	} else if d < 0 {
-		fmt.Fprintf(&b, "%d", d)
+	if d != 0 {
+		if d > 0 {
+			buf = append(buf, '+')
+		}
+		buf = strconv.AppendInt(buf, d, 10)
 	}
-	return b.String(), c == 1 || c == -1
+	return string(buf), c == 1 || c == -1
 }
 
 // affineSubscript extracts (v, c, d) with subscript = c·v + d for a
@@ -541,8 +567,19 @@ func (tr *Translator) affineSubscript(e source.Expr) (v string, c, d int64, ok b
 }
 
 // exprKey builds the CSE key; the bool result is false for expressions
-// that must not be shared (calls have side effects).
+// that must not be shared (calls have side effects). Keys are memoized
+// per AST node; the cache is flushed by reset() when the loop-variable
+// set changes, the only translator state a key depends on.
 func (tr *Translator) exprKey(e source.Expr) (string, bool) {
+	if ent, ok := tr.keyCache[e]; ok {
+		return ent.s, ent.ok
+	}
+	s, ok := tr.exprKeySlow(e)
+	tr.keyCache[e] = keyEntry{s, ok}
+	return s, ok
+}
+
+func (tr *Translator) exprKeySlow(e source.Expr) (string, bool) {
 	switch x := e.(type) {
 	case *source.NumLit:
 		return "#" + source.ExprString(x), true

@@ -120,11 +120,41 @@ type Translator struct {
 
 	nextRefID int32
 	refs      map[int32]*source.ArrayRef
+
+	// Memoized canonical strings. AST nodes are immutable and the
+	// symbol table is fixed for the translator's lifetime, so subscript
+	// normal forms and array address strings depend only on the node
+	// pointer and survive resets. CSE keys additionally depend on the
+	// enclosing loop-variable set, so keyCache is invalidated whenever
+	// reset() is handed a different loopVars list (prevLoopVars tracks
+	// the one the cache was built under).
+	subCache     map[source.Expr]subEntry
+	addrCache    map[*source.ArrayRef]string
+	keyCache     map[source.Expr]keyEntry
+	prevLoopVars []string
+}
+
+// subEntry is a memoized subscriptString result.
+type subEntry struct {
+	s     string
+	cheap bool
+}
+
+// keyEntry is a memoized exprKey result.
+type keyEntry struct {
+	s  string
+	ok bool
 }
 
 // New creates a translator.
 func New(tbl *sem.Table, m *machine.Machine, opt Options) *Translator {
-	return &Translator{tbl: tbl, m: m, opt: opt, preCSE: map[string]ir.Reg{}}
+	return &Translator{
+		tbl: tbl, m: m, opt: opt,
+		preCSE:    map[string]ir.Reg{},
+		subCache:  map[source.Expr]subEntry{},
+		addrCache: map[*source.ArrayRef]string{},
+		keyCache:  map[source.Expr]keyEntry{},
+	}
 }
 
 // tagRef registers a source array reference and returns its RefID.
@@ -210,6 +240,10 @@ func (tr *Translator) reset(loopVars []string) {
 	tr.innerVar = ""
 	for _, v := range loopVars {
 		tr.loopVars[v] = true
+	}
+	if !equalStrings(tr.prevLoopVars, loopVars) {
+		clear(tr.keyCache)
+		tr.prevLoopVars = append(tr.prevLoopVars[:0], loopVars...)
 	}
 	if len(loopVars) > 0 {
 		tr.innerVar = loopVars[len(loopVars)-1]
@@ -556,6 +590,19 @@ func (tr *Translator) killCSE(addr, base string) {
 }
 
 func loadKey(addr string) string { return "ld[" + addr + "]" }
+
+// equalStrings reports element-wise equality.
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
 
 func (tr *Translator) call(c *source.CallStmt) error {
 	// Arguments: scalars are passed by reference (no op cost here);

@@ -21,6 +21,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"sync"
 
 	"perfpredict/internal/ir"
 	"perfpredict/internal/machine"
@@ -36,9 +37,17 @@ type Result struct {
 	UnitBusy map[machine.UnitKind]int64
 }
 
-// Run simulates the block in the given instruction order.
+// pipePool recycles Pipeline state across Run calls: the scoreboards
+// and per-unit tables are cleared, not reallocated, so a block
+// simulation allocates only what escapes into the Result.
+var pipePool = sync.Pool{New: func() any { return new(Pipeline) }}
+
+// Run simulates the block in the given instruction order. It is safe
+// for concurrent use (each call draws its pipeline from a pool).
 func Run(m *machine.Machine, b *ir.Block) (Result, error) {
-	p := NewPipeline(m)
+	p := pipePool.Get().(*Pipeline)
+	defer pipePool.Put(p)
+	p.Reset(m)
 	issue := make([]int64, len(b.Instrs))
 	for i, in := range b.Instrs {
 		t, err := p.Issue(in)
@@ -47,7 +56,12 @@ func Run(m *machine.Machine, b *ir.Block) (Result, error) {
 		}
 		issue[i] = t
 	}
-	return Result{Cycles: p.Drain(), IssueTime: issue, UnitBusy: p.unitBusy}, nil
+	// Copy the busy counters out: p.unitBusy returns to the pool.
+	busy := make(map[machine.UnitKind]int64, len(p.unitBusy))
+	for k, v := range p.unitBusy {
+		busy[k] = v
+	}
+	return Result{Cycles: p.Drain(), IssueTime: issue, UnitBusy: busy}, nil
 }
 
 // Pipeline is the streaming core: callers feed instructions in
@@ -77,25 +91,57 @@ type Pipeline struct {
 	firstIssue int64
 	issuedAny  bool
 	unitBusy   map[machine.UnitKind]int64
+	// kindCache memoizes kindsOf per opcode (fixed for one machine).
+	kindCache map[ir.Op][]machine.UnitKind
+	// chosen and used are placeAtomic scratch: segment→pipe assignment
+	// and per-pipe taken marks for the candidate cycle being probed.
+	chosen []int
+	used   []bool
 }
 
 // NewPipeline creates an empty pipeline for m.
 func NewPipeline(m *machine.Machine) *Pipeline {
-	p := &Pipeline{
-		m:         m,
-		units:     m.Units(),
-		byKind:    map[machine.UnitKind][]int{},
-		regReady:  map[ir.Reg]int64{},
-		lastWrite: map[string]int64{},
-		lastReads: map[string]int64{},
-		unitBusy:  map[machine.UnitKind]int64{},
-		frontier:  map[machine.UnitKind]int64{},
-	}
-	p.freeAt = make([]int64, len(p.units))
-	for i, u := range p.units {
-		p.byKind[u.Kind] = append(p.byKind[u.Kind], i)
-	}
+	p := &Pipeline{}
+	p.Reset(m)
 	return p
+}
+
+// Reset clears the pipeline for a fresh run on m, reusing scoreboards
+// and unit tables (rebuilt only when the machine changes).
+func (p *Pipeline) Reset(m *machine.Machine) {
+	if p.m != m || p.units == nil {
+		p.m = m
+		p.units = m.Units()
+		p.byKind = make(map[machine.UnitKind][]int, 4)
+		for i, u := range p.units {
+			p.byKind[u.Kind] = append(p.byKind[u.Kind], i)
+		}
+		p.freeAt = make([]int64, len(p.units))
+		p.used = make([]bool, len(p.units))
+		p.kindCache = map[ir.Op][]machine.UnitKind{}
+	}
+	for i := range p.freeAt {
+		p.freeAt[i] = 0
+	}
+	if p.regReady == nil {
+		p.regReady = map[ir.Reg]int64{}
+		p.lastWrite = map[string]int64{}
+		p.lastReads = map[string]int64{}
+		p.unitBusy = map[machine.UnitKind]int64{}
+		p.frontier = map[machine.UnitKind]int64{}
+	} else {
+		clear(p.regReady)
+		clear(p.lastWrite)
+		clear(p.lastReads)
+		clear(p.unitBusy)
+		clear(p.frontier)
+	}
+	p.maxFrontier = 0
+	p.dispatchCycle = 0
+	p.dispatched = 0
+	p.lastFinish = 0
+	p.firstIssue = 0
+	p.issuedAny = false
 }
 
 // Issue feeds one instruction, using the internal register and memory
@@ -132,22 +178,30 @@ func (p *Pipeline) Issue(in ir.Instr) (int64, error) {
 	return p.issueAt(in, ready, 0)
 }
 
-// kindsOf returns the unit kinds an instruction occupies.
+// kindsOf returns the unit kinds an instruction occupies, memoized per
+// opcode (an opcode's atomic-op sequence is fixed for one machine).
 func (p *Pipeline) kindsOf(in ir.Instr) []machine.UnitKind {
-	seq, err := p.m.Lookup(in.Op)
-	if err != nil {
-		return nil
+	if ks, ok := p.kindCache[in.Op]; ok {
+		return ks
 	}
-	seen := map[machine.UnitKind]bool{}
 	var out []machine.UnitKind
-	for _, a := range seq {
-		for _, seg := range a.Segments {
-			if !seen[seg.Unit] {
-				seen[seg.Unit] = true
-				out = append(out, seg.Unit)
+	if seq, err := p.m.Lookup(in.Op); err == nil {
+		for _, a := range seq {
+			for _, seg := range a.Segments {
+				dup := false
+				for _, k := range out {
+					if k == seg.Unit {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					out = append(out, seg.Unit)
+				}
 			}
 		}
 	}
+	p.kindCache[in.Op] = out
 	return out
 }
 
@@ -227,8 +281,8 @@ func (p *Pipeline) issueAt(in ir.Instr, ready, dataReady int64) (int64, error) {
 		}
 	}
 	if in.Op == ir.OpCall {
-		p.lastWrite = map[string]int64{}
-		p.lastReads = map[string]int64{}
+		clear(p.lastWrite)
+		clear(p.lastReads)
 	}
 	// Queue order: the next instruction on the same unit kinds may
 	// issue in the same cycle but not earlier. Stores are an
@@ -266,13 +320,18 @@ func (p *Pipeline) placeAtomic(a machine.AtomicOp, ready int64) (int64, error) {
 		}
 		ok := true
 		var need int64 = t
-		chosen := make([]int, len(a.Segments))
-		used := map[int]bool{}
+		if cap(p.chosen) < len(a.Segments) {
+			p.chosen = make([]int, len(a.Segments))
+		}
+		chosen := p.chosen[:len(a.Segments)]
+		for i := range p.used {
+			p.used[i] = false
+		}
 		for si, seg := range a.Segments {
 			best := -1
 			var bestFree int64
 			for _, pipe := range p.byKind[seg.Unit] {
-				if used[pipe] {
+				if p.used[pipe] {
 					continue
 				}
 				segStart := t + int64(seg.Start)
@@ -294,7 +353,7 @@ func (p *Pipeline) placeAtomic(a machine.AtomicOp, ready int64) (int64, error) {
 					need = cand
 				}
 			}
-			used[best] = true
+			p.used[best] = true
 			chosen[si] = best
 		}
 		if !ok {

@@ -1,0 +1,125 @@
+package symexpr
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Monomial-key interning. Poly stores terms in a map keyed by the
+// canonical string form of the monomial; polynomial arithmetic in the
+// aggregation hot loop recomputes those keys constantly (every
+// Add/Mul/Substitute touches each term). Interning makes the
+// computation allocation-free after warm-up: keys are built into a
+// pooled byte buffer and resolved against a sharded intern table, so
+// the string is allocated only the first time a monomial shape is
+// seen, process-wide. The table grows with the number of distinct
+// monomials, which is small (bounded by program unknowns × degrees).
+//
+// All entry points are safe for concurrent use.
+
+type ve struct {
+	v Var
+	e int
+}
+
+// keyScratch is the reusable working state for one key computation.
+type keyScratch struct {
+	buf []byte
+	ves []ve
+}
+
+var keyScratchPool = sync.Pool{New: func() any { return new(keyScratch) }}
+
+const internShardCount = 16
+
+type internShard struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+var internShards [internShardCount]internShard
+
+func init() {
+	for i := range internShards {
+		internShards[i].m = map[string]string{}
+	}
+}
+
+// intern returns the canonical string for the key bytes, allocating
+// only on first sight. The read path performs no allocation: Go map
+// lookups with a string(b) conversion do not copy.
+func intern(b []byte) string {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= prime32
+	}
+	sh := &internShards[h%internShardCount]
+	sh.mu.RLock()
+	s, ok := sh.m[string(b)]
+	sh.mu.RUnlock()
+	if ok {
+		return s
+	}
+	sh.mu.Lock()
+	s, ok = sh.m[string(b)]
+	if !ok {
+		s = string(b)
+		sh.m[s] = s
+	}
+	sh.mu.Unlock()
+	return s
+}
+
+// appendVE collects the nonzero (variable, exponent) pairs of m into
+// dst, sorted by variable name.
+func appendVE(dst []ve, m Monomial) []ve {
+	for v, e := range m {
+		if e != 0 {
+			dst = append(dst, ve{v, e})
+		}
+	}
+	if len(dst) < 8 {
+		// Insertion sort: monomials have a handful of variables.
+		for i := 1; i < len(dst); i++ {
+			for j := i; j > 0 && dst[j].v < dst[j-1].v; j-- {
+				dst[j], dst[j-1] = dst[j-1], dst[j]
+			}
+		}
+	} else {
+		sort.Slice(dst, func(i, j int) bool { return dst[i].v < dst[j].v })
+	}
+	return dst
+}
+
+// appendKey renders sorted pairs in the canonical "v^e*w^f" form.
+func appendKey(buf []byte, ves []ve) []byte {
+	for i, x := range ves {
+		if i > 0 {
+			buf = append(buf, '*')
+		}
+		buf = append(buf, x.v...)
+		buf = append(buf, '^')
+		buf = strconv.AppendInt(buf, int64(x.e), 10)
+	}
+	return buf
+}
+
+// monoKey computes the interned canonical key of m.
+func monoKey(m Monomial) string {
+	if len(m) == 0 {
+		return ""
+	}
+	sc := keyScratchPool.Get().(*keyScratch)
+	ves := appendVE(sc.ves[:0], m)
+	buf := appendKey(sc.buf[:0], ves)
+	s := intern(buf)
+	sc.ves, sc.buf = ves, buf
+	keyScratchPool.Put(sc)
+	return s
+}

@@ -25,20 +25,9 @@ type Var string
 // which §3.1 of the paper drops when dominated).
 type Monomial map[Var]int
 
-// key returns a canonical string form usable as a map key.
-func (m Monomial) key() string {
-	if len(m) == 0 {
-		return ""
-	}
-	vars := make([]string, 0, len(m))
-	for v, e := range m {
-		if e != 0 {
-			vars = append(vars, fmt.Sprintf("%s^%d", v, e))
-		}
-	}
-	sort.Strings(vars)
-	return strings.Join(vars, "*")
-}
+// key returns the canonical (interned) string form usable as a map
+// key; see intern.go.
+func (m Monomial) key() string { return monoKey(m) }
 
 func (m Monomial) clone() Monomial {
 	c := make(Monomial, len(m))
@@ -100,36 +89,54 @@ func Term(coeff float64, mono Monomial) Poly {
 
 const coeffEps = 1e-12
 
-// addTerm returns p with coeff*mono added. It is the only mutator and
-// always operates on a fresh copy.
+// addTerm returns p with coeff*mono added, cloning p (and the caller's
+// monomial, which may be reused) — the safe entry point behind Const,
+// NewVar, Term and the summation code. The arithmetic hot paths below
+// instead clone once and merge in place via addInto.
 func (p Poly) addTerm(coeff float64, mono Monomial) Poly {
 	out := p.clone()
 	if math.Abs(coeff) < coeffEps {
 		return out
 	}
-	m := mono.clone()
-	k := m.key()
-	if t, ok := out.terms[k]; ok {
-		c := t.coeff + coeff
-		if math.Abs(c) < coeffEps {
-			delete(out.terms, k)
-		} else {
-			out.terms[k] = polyTerm{c, t.mono}
-		}
-		return out
-	}
 	if out.terms == nil {
-		out.terms = map[string]polyTerm{}
+		out.terms = make(map[string]polyTerm, 1)
 	}
-	out.terms[k] = polyTerm{coeff, m}
+	m := mono.clone()
+	addInto(out.terms, m.key(), coeff, m)
 	return out
 }
 
+// addInto accumulates coeff·mono (whose canonical key is key) into a
+// terms map owned by the caller. mono is retained when the key is new,
+// so it must not be mutated afterwards — the package-wide invariant
+// that Monomial maps inside polyTerms are immutable.
+func addInto(terms map[string]polyTerm, key string, coeff float64, mono Monomial) {
+	if math.Abs(coeff) < coeffEps {
+		return
+	}
+	if t, ok := terms[key]; ok {
+		c := t.coeff + coeff
+		if math.Abs(c) < coeffEps {
+			delete(terms, key)
+		} else {
+			terms[key] = polyTerm{c, t.mono}
+		}
+		return
+	}
+	terms[key] = polyTerm{coeff, mono}
+}
+
 func (p Poly) clone() Poly {
-	if p.terms == nil {
+	return p.cloneExtra(0)
+}
+
+// cloneExtra clones p with capacity for extra additional terms. The
+// monomial maps are shared: they are immutable once stored.
+func (p Poly) cloneExtra(extra int) Poly {
+	if p.terms == nil && extra == 0 {
 		return Poly{}
 	}
-	c := Poly{terms: make(map[string]polyTerm, len(p.terms))}
+	c := Poly{terms: make(map[string]polyTerm, len(p.terms)+extra)}
 	for k, t := range p.terms {
 		c.terms[k] = t
 	}
@@ -165,29 +172,42 @@ func (p Poly) ConstPart() float64 {
 // NumTerms returns the number of (nonzero) terms.
 func (p Poly) NumTerms() int { return len(p.terms) }
 
-// Add returns p + q.
+// Add returns p + q. The result shares monomial maps with its inputs
+// (they are immutable); only the term table is fresh.
 func (p Poly) Add(q Poly) Poly {
-	out := p.clone()
-	for _, t := range q.terms {
-		out = out.addTerm(t.coeff, t.mono)
+	if len(q.terms) == 0 {
+		return p.clone()
+	}
+	out := p.cloneExtra(len(q.terms))
+	for k, t := range q.terms {
+		addInto(out.terms, k, t.coeff, t.mono)
 	}
 	return out
 }
 
 // Sub returns p − q.
 func (p Poly) Sub(q Poly) Poly {
-	out := p.clone()
-	for _, t := range q.terms {
-		out = out.addTerm(-t.coeff, t.mono)
+	if len(q.terms) == 0 {
+		return p.clone()
+	}
+	out := p.cloneExtra(len(q.terms))
+	for k, t := range q.terms {
+		addInto(out.terms, k, -t.coeff, t.mono)
 	}
 	return out
 }
 
-// Scale returns c·p.
+// Scale returns c·p. Scaling never changes monomials, so keys are
+// copied verbatim.
 func (p Poly) Scale(c float64) Poly {
-	out := Poly{}
-	for _, t := range p.terms {
-		out = out.addTerm(c*t.coeff, t.mono)
+	if len(p.terms) == 0 || math.Abs(c) < coeffEps {
+		return Poly{}
+	}
+	out := Poly{terms: make(map[string]polyTerm, len(p.terms))}
+	for k, t := range p.terms {
+		if sc := c * t.coeff; math.Abs(sc) >= coeffEps {
+			out.terms[k] = polyTerm{sc, t.mono}
+		}
 	}
 	return out
 }
@@ -196,36 +216,99 @@ func (p Poly) Scale(c float64) Poly {
 func (p Poly) Neg() Poly { return p.Scale(-1) }
 
 // AddConst returns p + c.
-func (p Poly) AddConst(c float64) Poly { return p.addTerm(c, Monomial{}) }
+func (p Poly) AddConst(c float64) Poly {
+	out := p.cloneExtra(1)
+	addInto(out.terms, "", c, Monomial{})
+	return out
+}
 
 // Mul returns p·q.
 func (p Poly) Mul(q Poly) Poly {
-	out := Poly{}
+	if len(p.terms) == 0 || len(q.terms) == 0 {
+		return Poly{}
+	}
+	out := Poly{terms: make(map[string]polyTerm, len(p.terms)*len(q.terms))}
+	sc := keyScratchPool.Get().(*keyScratch)
 	for _, a := range p.terms {
-		for _, b := range q.terms {
-			m := a.mono.clone()
+		for kb, b := range q.terms {
+			coeff := a.coeff * b.coeff
+			if math.Abs(coeff) < coeffEps {
+				continue
+			}
+			if len(a.mono) == 0 {
+				addInto(out.terms, kb, coeff, b.mono)
+				continue
+			}
+			// Merge the two monomials into scratch, key the result,
+			// and only materialize a Monomial map when the term is new.
+			ves := appendVE(sc.ves[:0], a.mono)
 			for v, e := range b.mono {
-				m[v] += e
-				if m[v] == 0 {
-					delete(m, v)
+				if e == 0 {
+					continue
+				}
+				found := false
+				for i := range ves {
+					if ves[i].v == v {
+						ves[i].e += e
+						found = true
+						break
+					}
+				}
+				if !found {
+					ves = append(ves, ve{v, e})
 				}
 			}
-			out = out.addTerm(a.coeff*b.coeff, m)
+			n := 0
+			for _, x := range ves {
+				if x.e != 0 {
+					ves[n] = x
+					n++
+				}
+			}
+			ves = ves[:n]
+			// Re-sort: merging may have appended b's vars out of order.
+			for i := 1; i < len(ves); i++ {
+				for j := i; j > 0 && ves[j].v < ves[j-1].v; j-- {
+					ves[j], ves[j-1] = ves[j-1], ves[j]
+				}
+			}
+			sc.ves = ves
+			buf := appendKey(sc.buf[:0], ves)
+			sc.buf = buf
+			key := intern(buf)
+			if t, ok := out.terms[key]; ok {
+				c := t.coeff + coeff
+				if math.Abs(c) < coeffEps {
+					delete(out.terms, key)
+				} else {
+					out.terms[key] = polyTerm{c, t.mono}
+				}
+				continue
+			}
+			m := make(Monomial, len(ves))
+			for _, x := range ves {
+				m[x.v] = x.e
+			}
+			out.terms[key] = polyTerm{coeff, m}
 		}
 	}
+	keyScratchPool.Put(sc)
 	return out
 }
 
 // MulVar returns p · v^exp.
 func (p Poly) MulVar(v Var, exp int) Poly {
-	out := Poly{}
+	if exp == 0 {
+		return p.clone()
+	}
+	out := Poly{terms: make(map[string]polyTerm, len(p.terms))}
 	for _, t := range p.terms {
 		m := t.mono.clone()
 		m[v] += exp
 		if m[v] == 0 {
 			delete(m, v)
 		}
-		out = out.addTerm(t.coeff, m)
+		addInto(out.terms, m.key(), t.coeff, m)
 	}
 	return out
 }
@@ -347,15 +430,19 @@ func (p Poly) Substitute(v Var, q Poly) (Poly, error) {
 }
 
 func (p Poly) substConst(v Var, c float64) (Poly, error) {
-	out := Poly{}
-	for _, t := range p.terms {
+	out := Poly{terms: make(map[string]polyTerm, len(p.terms))}
+	for k, t := range p.terms {
 		e := t.mono.degree(v)
 		if e < 0 && c == 0 {
 			return Poly{}, fmt.Errorf("symexpr: substituting 0 into negative power of %s", v)
 		}
+		if e == 0 {
+			addInto(out.terms, k, t.coeff, t.mono)
+			continue
+		}
 		rest := t.mono.clone()
 		delete(rest, v)
-		out = out.addTerm(t.coeff*math.Pow(c, float64(e)), rest)
+		addInto(out.terms, rest.key(), t.coeff*math.Pow(c, float64(e)), rest)
 	}
 	return out, nil
 }
@@ -397,21 +484,21 @@ func (p Poly) Coeffs(v Var) ([]float64, error) {
 
 // CoeffOf returns the sub-polynomial multiplying v^exp.
 func (p Poly) CoeffOf(v Var, exp int) Poly {
-	out := Poly{}
+	out := Poly{terms: map[string]polyTerm{}}
 	for _, t := range p.terms {
 		if t.mono.degree(v) != exp {
 			continue
 		}
 		rest := t.mono.clone()
 		delete(rest, v)
-		out = out.addTerm(t.coeff, rest)
+		addInto(out.terms, rest.key(), t.coeff, rest)
 	}
 	return out
 }
 
 // Derivative returns ∂p/∂v.
 func (p Poly) Derivative(v Var) Poly {
-	out := Poly{}
+	out := Poly{terms: map[string]polyTerm{}}
 	for _, t := range p.terms {
 		e := t.mono.degree(v)
 		if e == 0 {
@@ -422,7 +509,7 @@ func (p Poly) Derivative(v Var) Poly {
 		if m[v] == 0 {
 			delete(m, v)
 		}
-		out = out.addTerm(t.coeff*float64(e), m)
+		addInto(out.terms, m.key(), t.coeff*float64(e), m)
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package tetris
 
 import (
 	"fmt"
+	"sync"
 
 	"perfpredict/internal/ir"
 	"perfpredict/internal/machine"
@@ -40,15 +41,37 @@ type Result struct {
 	Shape CostBlock
 }
 
+// estScratch is the per-call working state of Estimate, recycled
+// through a sync.Pool so the hot path allocates only what escapes into
+// the Result. The machine-derived unit tables are cached by machine
+// identity: repeated estimations for the same target (the normal case)
+// skip rebuilding them.
+type estScratch struct {
+	mach   *machine.Machine
+	inst   []machine.UnitInstance
+	byKind map[machine.UnitKind][]int
+	place  []int
+	finish []int
+	b      bins
+}
+
+var estPool = sync.Pool{New: func() any { return new(estScratch) }}
+
 // Estimate prices a straight-line block on m: the paper's approximate
 // solution to the scheduling problem, placing each operation's cost
 // object into the lowest time slots where all of its per-unit segments
 // fit simultaneously, no earlier than its operands allow.
+//
+// Estimate is safe to call concurrently (per-call scratch state comes
+// from a pool; m is only read).
 func Estimate(m *machine.Machine, b *ir.Block, opt Options) (Result, error) {
-	bins := newBins(m, opt)
+	sc := estPool.Get().(*estScratch)
+	defer estPool.Put(sc)
+	bins := sc.prepare(m, opt)
 	deps := b.Deps(opt.MayAlias)
-	place := make([]int, len(b.Instrs))
-	finish := make([]int, len(b.Instrs))
+	sc.place = resetInts(sc.place, len(b.Instrs))
+	sc.finish = resetInts(sc.finish, len(b.Instrs))
+	place, finish := sc.place, sc.finish
 	maxFinish := 0
 	for i, in := range b.Instrs {
 		seq, err := m.Lookup(in.Op)
@@ -87,7 +110,7 @@ func Estimate(m *machine.Machine, b *ir.Block, opt Options) (Result, error) {
 			maxFinish = end
 		}
 	}
-	res := Result{PlaceTime: place}
+	res := Result{PlaceTime: append([]int(nil), place...)}
 	res.Start, res.End = bins.extent()
 	if maxFinish > res.End {
 		res.End = maxFinish
@@ -99,42 +122,86 @@ func Estimate(m *machine.Machine, b *ir.Block, opt Options) (Result, error) {
 	return res, nil
 }
 
+// resetInts returns s resized to n with every element zeroed, reusing
+// the backing array when it is large enough.
+func resetInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// prepare resets the scratch's bins for one estimation, rebuilding the
+// machine-derived tables only when the target changed.
+func (sc *estScratch) prepare(m *machine.Machine, opt Options) *bins {
+	if sc.mach != m || len(sc.inst) == 0 {
+		sc.mach = m
+		sc.inst = m.Units()
+		sc.byKind = make(map[machine.UnitKind][]int, 4)
+		for i, u := range sc.inst {
+			sc.byKind[u.Kind] = append(sc.byKind[u.Kind], i)
+		}
+		sc.b.slots = make([]slotList, len(sc.inst))
+		sc.b.latEnd = make([]int, len(sc.inst))
+		sc.b.used = make([]bool, len(sc.inst))
+		sc.b.chosen = sc.b.chosen[:0]
+	}
+	b := &sc.b
+	b.m, b.opt = m, opt
+	b.inst, b.byKind = sc.inst, sc.byKind
+	for i := range b.slots {
+		b.slots[i].reset(64)
+		b.latEnd[i] = 0
+		b.used[i] = false
+	}
+	b.dispatch = b.dispatch[:0]
+	b.top = 0
+	b.haveOcc = false
+	b.width = m.DispatchWidth
+	if opt.DispatchWidth > 0 {
+		b.width = opt.DispatchWidth
+	}
+	return b
+}
+
 // bins is the two-dimensional virtual architecture bin of Figure 3.
 type bins struct {
 	m      *machine.Machine
 	opt    Options
 	inst   []machine.UnitInstance
 	byKind map[machine.UnitKind][]int // indices into inst / slots
-	slots  []*slotList
+	slots  []slotList
 	// latEnd[i] tracks the furthest dependent-visible latency end per
 	// pipe, so the cost block includes trailing coverable cycles.
 	latEnd   []int
-	dispatch map[int]int // ops begun per cycle
-	top      int         // highest noncov-occupied slot + 1
+	dispatch []int // ops begun per cycle, indexed by cycle
+	top      int   // highest noncov-occupied slot + 1
 	haveOcc  bool
 	width    int
+	// chosen and used are tryFit scratch: segment→pipe assignment and
+	// the per-pipe taken marks of the current candidate slot.
+	chosen []int
+	used   []bool
 }
 
-func newBins(m *machine.Machine, opt Options) *bins {
-	inst := m.Units()
-	b := &bins{
-		m:        m,
-		opt:      opt,
-		inst:     inst,
-		byKind:   map[machine.UnitKind][]int{},
-		slots:    make([]*slotList, len(inst)),
-		latEnd:   make([]int, len(inst)),
-		dispatch: map[int]int{},
-		width:    m.DispatchWidth,
+// dispatchAt returns the number of ops begun in cycle t.
+func (b *bins) dispatchAt(t int) int {
+	if t < len(b.dispatch) {
+		return b.dispatch[t]
 	}
-	if opt.DispatchWidth > 0 {
-		b.width = opt.DispatchWidth
+	return 0
+}
+
+// incDispatch counts one op begun in cycle t.
+func (b *bins) incDispatch(t int) {
+	for len(b.dispatch) <= t {
+		b.dispatch = append(b.dispatch, 0)
 	}
-	for i, u := range inst {
-		b.byKind[u.Kind] = append(b.byKind[u.Kind], i)
-		b.slots[i] = newSlotList(64)
-	}
-	return b
+	b.dispatch[t]++
 }
 
 // floor returns the lowest slot the focus span permits.
@@ -187,7 +254,7 @@ func (b *bins) placeOne(a machine.AtomicOp, ready int) (int, error) {
 			t = tNext
 			continue
 		}
-		if b.width > 0 && b.dispatch[t] >= b.width {
+		if b.width > 0 && b.dispatchAt(t) >= b.width {
 			t++
 			continue
 		}
@@ -207,7 +274,7 @@ func (b *bins) placeOne(a machine.AtomicOp, ready int) (int, error) {
 		if a.Latency() > 0 || len(a.Segments) > 0 {
 			b.haveOcc = true
 		}
-		b.dispatch[t]++
+		b.incDispatch(t)
 		return t, nil
 	}
 	return 0, fmt.Errorf("tetris: no placement found for %s", a.Name)
@@ -215,17 +282,22 @@ func (b *bins) placeOne(a machine.AtomicOp, ready int) (int, error) {
 
 // tryFit checks whether every segment fits at base time t; on failure
 // it returns the next candidate t to try. chosen maps segment index to
-// pipe index.
+// pipe index; it aliases scratch storage valid until the next call.
 func (b *bins) tryFit(a machine.AtomicOp, t int) (chosen []int, tNext int, ok bool) {
-	chosen = make([]int, len(a.Segments))
-	used := map[int]bool{}
+	if cap(b.chosen) < len(a.Segments) {
+		b.chosen = make([]int, len(a.Segments))
+	}
+	chosen = b.chosen[:len(a.Segments)]
+	for i := range b.used {
+		b.used[i] = false
+	}
 	bump := t + 1
 	for si, seg := range a.Segments {
 		pipes := b.byKind[seg.Unit]
 		found := -1
 		bestNext := -1
 		for _, p := range pipes {
-			if used[p] {
+			if b.used[p] {
 				continue
 			}
 			if seg.Noncov == 0 || b.slots[p].free(t+seg.Start, seg.Noncov) {
@@ -243,7 +315,7 @@ func (b *bins) tryFit(a machine.AtomicOp, t int) (chosen []int, tNext int, ok bo
 			}
 			return nil, bump, false
 		}
-		used[found] = true
+		b.used[found] = true
 		chosen[si] = found
 	}
 	return chosen, 0, true
@@ -253,8 +325,8 @@ func (b *bins) tryFit(a machine.AtomicOp, t int) (chosen []int, tNext int, ok bo
 // dependent-visible end over all pipes.
 func (b *bins) extent() (lo, hi int) {
 	lo, hi = -1, 0
-	for i, s := range b.slots {
-		f, _ := s.extent()
+	for i := range b.slots {
+		f, _ := b.slots[i].extent()
 		if f >= 0 && (lo == -1 || f < lo) {
 			lo = f
 		}

@@ -32,10 +32,25 @@ type run struct {
 }
 
 func newSlotList(capacity int) *slotList {
+	s := &slotList{}
+	s.reset(capacity)
+	return s
+}
+
+// reset re-initializes the list to a single empty run, reusing the
+// backing run storage (the free list behind the estimator's scratch
+// pool: run blocks released by a previous estimation are recycled here
+// instead of being reallocated).
+func (s *slotList) reset(capacity int) {
 	if capacity <= 0 {
 		capacity = 64
 	}
-	return &slotList{runs: []run{{0, capacity, false}}, size: capacity}
+	if cap(s.runs) == 0 {
+		s.runs = make([]run, 1, 8)
+	}
+	s.runs = s.runs[:1]
+	s.runs[0] = run{0, capacity, false}
+	s.size = capacity
 }
 
 // ensure grows the list so that slot i exists.
@@ -136,16 +151,31 @@ func (s *slotList) occupy(from, n int) {
 	idx := s.runIndexAt(from)
 	r := s.runs[idx]
 	// r is empty and fully contains [from, from+n) because free()
-	// succeeded and empty runs are maximal.
-	var repl []run
+	// succeeded and empty runs are maximal. Build the ≤3 replacement
+	// runs on the stack and splice them in place — the run slice only
+	// ever grows by the amortized append below, never via a temporary.
+	var repl [3]run
+	nr := 0
 	if from > r.start {
-		repl = append(repl, run{r.start, from - r.start, false})
+		repl[nr] = run{r.start, from - r.start, false}
+		nr++
 	}
-	repl = append(repl, run{from, n, true})
+	repl[nr] = run{from, n, true}
+	nr++
 	if rest := r.start + r.length - (from + n); rest > 0 {
-		repl = append(repl, run{from + n, rest, false})
+		repl[nr] = run{from + n, rest, false}
+		nr++
 	}
-	s.runs = append(s.runs[:idx], append(repl, s.runs[idx+1:]...)...)
+	switch nr - 1 {
+	case 1:
+		s.runs = append(s.runs, run{})
+	case 2:
+		s.runs = append(s.runs, run{}, run{})
+	}
+	if extra := nr - 1; extra > 0 {
+		copy(s.runs[idx+nr:], s.runs[idx+1:len(s.runs)-extra])
+	}
+	copy(s.runs[idx:idx+nr], repl[:nr])
 	s.mergeAround(idx)
 }
 

@@ -1,0 +1,55 @@
+// Package workpool provides the bounded fan-out primitive behind the
+// concurrent prediction pipeline: batch prediction, the transformation
+// search's neighbor expansion and any other embarrassingly-indexed
+// loop run through one shared implementation instead of ad-hoc
+// goroutine spawns.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run invokes fn(i) for every i in [0, n), using at most workers
+// goroutines, and returns once all calls have completed. workers <= 0
+// means runtime.GOMAXPROCS(0); a single worker (or n == 1) degenerates
+// to a plain loop on the calling goroutine, so serial semantics are
+// the zero-cost special case.
+//
+// Indices are handed out through an atomic counter, so load balances
+// even when per-index costs are skewed. fn is responsible for
+// synchronizing any shared state beyond index-disjoint writes.
+func Run(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,34 @@
+package workpool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		for _, workers := range []int{-1, 0, 1, 3, 8, 200} {
+			hits := make([]atomic.Int32, n)
+			Run(n, workers, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRunSerialOrder(t *testing.T) {
+	// A single worker runs on the calling goroutine in index order.
+	var seen []int
+	Run(5, 1, func(i int) { seen = append(seen, i) })
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("serial order broken: %v", seen)
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("visited %d of 5", len(seen))
+	}
+}

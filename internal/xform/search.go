@@ -10,6 +10,7 @@ import (
 	"perfpredict/internal/sem"
 	"perfpredict/internal/source"
 	"perfpredict/internal/symexpr"
+	"perfpredict/internal/workpool"
 )
 
 // Move is one applicable transformation instance.
@@ -63,6 +64,14 @@ type SearchOptions struct {
 	// DisableFuse/DisableTile trim the move set.
 	DisableFuse bool
 	DisableTile bool
+	// Workers bounds the concurrency of neighbor expansion: the
+	// candidate variants of each expanded state are transformed and
+	// priced on a worker pool sharing the search's segment cache.
+	// <= 0 uses runtime.GOMAXPROCS(0); 1 forces serial expansion.
+	// Results are identical for any worker count: candidates are
+	// enumerated, deduplicated and pushed in deterministic move order,
+	// and cached segment costs do not depend on fill interleaving.
+	Workers int
 }
 
 func (o *SearchOptions) defaults() {
@@ -166,6 +175,15 @@ type state struct {
 	seq  []Move
 }
 
+// candidate is one neighbor being expanded (see Search's three-step
+// expansion).
+type candidate struct {
+	prog *source.Program
+	key  string
+	cost float64
+	skip bool
+}
+
 type stateHeap []*state
 
 func (h stateHeap) Len() int           { return len(h) }
@@ -208,22 +226,47 @@ func Search(p *source.Program, opt SearchOptions) (SearchResult, error) {
 		moves := Moves(cur.prog, opt)
 		// Deterministic order.
 		sort.Slice(moves, func(i, j int) bool { return moves[i].String() < moves[j].String() })
-		for _, mv := range moves {
-			next, err := Apply(cur.prog, mv)
+		// Expand neighbors in three steps — parallel transform, serial
+		// dedup, parallel pricing — then fold the survivors back into
+		// the frontier in move order, so the heap and the running best
+		// are independent of worker interleaving.
+		cands := make([]candidate, len(moves))
+		workpool.Run(len(moves), opt.Workers, func(i int) {
+			next, err := Apply(cur.prog, moves[i])
 			if err != nil {
-				continue // illegal move: skip
+				cands[i].skip = true // illegal move
+				return
 			}
-			key := source.PrintProgram(next)
-			if visited[key] {
+			cands[i].prog = next
+			cands[i].key = source.PrintProgram(next)
+		})
+		for i := range cands {
+			if cands[i].skip {
 				continue
 			}
-			visited[key] = true
-			c, err := Predict(next, opt, cache)
-			if err != nil {
+			if visited[cands[i].key] {
+				cands[i].skip = true
 				continue
 			}
-			st := &state{prog: next, cost: c, seq: append(append([]Move{}, cur.seq...), mv)}
-			if c < best.cost {
+			visited[cands[i].key] = true
+		}
+		workpool.Run(len(cands), opt.Workers, func(i int) {
+			if cands[i].skip {
+				return
+			}
+			c, err := Predict(cands[i].prog, opt, cache)
+			if err != nil {
+				cands[i].skip = true
+				return
+			}
+			cands[i].cost = c
+		})
+		for i := range cands {
+			if cands[i].skip {
+				continue
+			}
+			st := &state{prog: cands[i].prog, cost: cands[i].cost, seq: append(append([]Move{}, cur.seq...), moves[i])}
+			if st.cost < best.cost {
 				best = st
 			}
 			heap.Push(h, st)

@@ -1,0 +1,31 @@
+#!/bin/sh
+# CI gate: formatting, static checks, build, race-enabled tests, and a
+# single pass over every benchmark (correctness smoke — the benchmarks
+# double as the experiment table generators).
+#
+# Usage: scripts/ci.sh   (from the repository root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== benchmarks (1 iteration each)"
+go test -run '^$' -bench . -benchtime 1x ./...
+
+echo "CI OK"
