@@ -265,6 +265,13 @@ type OptimizeResult struct {
 	PredictedBefore, PredictedAfter float64
 	// Explored counts search states expanded.
 	Explored int
+	// SegCacheHits/SegCacheMisses count straight-line segment lookups
+	// in the search's shared segment cache; NestCacheHits and
+	// NestsRepriced count whole loop nests spliced from, respectively
+	// priced into, the nest-level cost cache that makes candidate
+	// re-pricing incremental.
+	SegCacheHits, SegCacheMisses int
+	NestCacheHits, NestsRepriced int
 }
 
 // Optimize searches transformation sequences (unroll, interchange,
@@ -291,6 +298,10 @@ func Optimize(src string, target *Target, nominal map[string]float64) (OptimizeR
 		PredictedBefore: res.InitialCost,
 		PredictedAfter:  res.BestCost,
 		Explored:        res.Explored,
+		SegCacheHits:    res.CacheHits,
+		SegCacheMisses:  res.CacheMisses,
+		NestCacheHits:   res.NestHits,
+		NestsRepriced:   res.NestMisses,
 	}
 	for _, mv := range res.Sequence {
 		out.Transformations = append(out.Transformations, mv.String())

@@ -349,6 +349,48 @@ func BenchmarkAStarSearch(b *testing.B) {
 	b.ReportMetric(gain, "predicted-gain")
 }
 
+// BenchmarkOptimize measures the transformation search's incremental
+// re-pricing on the EXPERIMENTS.md figure programs: "full" disables
+// the nest-level cost cache (every candidate re-prices every nest —
+// the pre-incremental behavior, counted), "incremental" enables it.
+// Custom metrics report nests re-priced and tetris invocations per
+// Optimize call; the incremental/full tetris ratio is the headline
+// (target ≥3× fewer).
+func BenchmarkOptimize(b *testing.B) {
+	for _, kn := range []string{"f2", "f6", "matmul"} {
+		k, err := kernels.Get(kn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, _, err := k.Parse()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"full", true}, {"incremental", false}} {
+			b.Run(kn+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				var repriced, tet float64
+				for i := 0; i < b.N; i++ {
+					res, err := xform.Search(prog, xform.SearchOptions{
+						Machine:          machine.NewPOWER1(),
+						DisableNestCache: mode.disable,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					repriced = float64(res.NestMisses)
+					tet = float64(res.TetrisCalls)
+				}
+				b.ReportMetric(repriced, "nests-repriced/op")
+				b.ReportMetric(tet, "tetris-calls/op")
+			})
+		}
+	}
+}
+
 // BenchmarkBaselineError (E10): the op-count model's factor over the
 // reference, worst case across the Figure 7 set.
 func BenchmarkBaselineError(b *testing.B) {

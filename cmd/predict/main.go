@@ -5,7 +5,7 @@
 // Usage:
 //
 //	predict [-machine POWER1|SuperScalar2|Scalar1] [-args n=1000,alpha=2]
-//	        [-simulate] [-block] [-optimize] file.f
+//	        [-simulate] [-block] [-optimize [-v]] file.f
 //	predict [-machine M] [-args ...] [-parallel N] file1.f file2.f ...
 //
 // With no file, a built-in kernel name may be given via -kernel.
@@ -33,6 +33,7 @@ func main() {
 	simulate := flag.Bool("simulate", false, "also run the reference pipeline simulation")
 	block := flag.Bool("block", false, "analyze the innermost basic block (Figure 7 style)")
 	optimize := flag.Bool("optimize", false, "search transformations for a faster variant")
+	verbose := flag.Bool("v", false, "with -optimize, also print search cache statistics")
 	parallel := flag.Int("parallel", 0, "batch worker pool size (0 = GOMAXPROCS); used with multiple files")
 	flag.Parse()
 
@@ -126,6 +127,10 @@ func main() {
 			fatalf("optimize: %v", err)
 		}
 		fmt.Printf("optimize:     %.0f -> %.0f cycles (%d states)\n", res.PredictedBefore, res.PredictedAfter, res.Explored)
+		if *verbose {
+			fmt.Printf("nest cache:   %d hits, %d nests re-priced\n", res.NestCacheHits, res.NestsRepriced)
+			fmt.Printf("seg cache:    %d hits, %d misses\n", res.SegCacheHits, res.SegCacheMisses)
+		}
 		if len(res.Transformations) > 0 {
 			fmt.Printf("sequence:     %s\n", strings.Join(res.Transformations, ", "))
 			fmt.Println("transformed program:")

@@ -182,11 +182,24 @@ type Estimator struct {
 	opt Options
 
 	trans    *lower.Translator
-	pre      symexpr.Poly
+	preVals  []float64
 	unknowns []Unknown
 	seen     map[symexpr.Var]bool
 	fresh    int
 	cache    *SegCache
+
+	// Incremental re-pricing state (see incremental.go). nc is the
+	// shared nest-level cost cache; prog the program being priced
+	// (needed for per-nest environment fingerprints); changed the
+	// advisory dirty-path hint; logging gates the unknown-registration
+	// event log that makes cached nests relocatable.
+	nc      *NestCache
+	prog    *source.Program
+	changed [][]int
+	logging bool
+	events  []regEvent
+	keyFP   source.Fingerprint // machine + options
+	auxFP   source.Fingerprint // keyFP + whole-program environment
 }
 
 // New creates an estimator with a private segment cache.
@@ -226,14 +239,21 @@ func NewWithCache(tbl *sem.Table, m *machine.Machine, opt Options, cache *SegCac
 
 // Program aggregates the whole program body.
 func (e *Estimator) Program(p *source.Program) (Result, error) {
-	e.pre = symexpr.Zero()
+	e.preVals = e.preVals[:0]
 	e.unknowns = nil
 	e.seen = map[symexpr.Var]bool{}
-	c, err := e.stmts(p.Body, nil)
+	e.events = e.events[:0]
+	e.prog = p
+	e.logging = e.nc != nil && !e.nc.disabled
+	if e.logging {
+		e.auxFP = e.keyFP.Mix(source.FingerprintEnv(p))
+	}
+	c, err := e.stmts(p.Body, nil, []int{})
 	if err != nil {
 		return Result{}, err
 	}
-	total := c.base.Add(c.entry).Add(e.pre)
+	pre := e.prePoly()
+	total := c.base.Add(c.entry).Add(pre)
 	for _, g := range c.guarded {
 		// Guards that survive to the top level (no enclosing loop over
 		// their variable) degrade to probability-like unknowns: keep
@@ -241,24 +261,30 @@ func (e *Estimator) Program(p *source.Program) (Result, error) {
 		// unknown, so conservatively include the term fully.
 		total = total.Add(g.poly)
 	}
-	return Result{Cost: total, OneTime: e.pre, Unknowns: e.unknowns}, nil
+	return Result{Cost: total, OneTime: pre, Unknowns: e.unknowns}, nil
 }
 
 // Stmts aggregates a statement list under the given enclosing loops
-// (outermost first). Exposed for per-fragment estimates.
+// (outermost first). Exposed for per-fragment estimates. Fragments
+// carry no program environment, so nest-level caching is suspended for
+// the duration of the call.
 func (e *Estimator) Stmts(stmts []source.Stmt, loops []LoopCtx) (Result, error) {
-	e.pre = symexpr.Zero()
+	savedProg, savedLogging, savedChanged := e.prog, e.logging, e.changed
+	e.prog, e.logging, e.changed = nil, false, nil
+	defer func() { e.prog, e.logging, e.changed = savedProg, savedLogging, savedChanged }()
+	e.preVals = e.preVals[:0]
 	e.unknowns = nil
 	e.seen = map[symexpr.Var]bool{}
-	c, err := e.stmts(stmts, loops)
+	c, err := e.stmts(stmts, loops, nil)
 	if err != nil {
 		return Result{}, err
 	}
-	total := c.base.Add(c.entry).Add(e.pre)
+	pre := e.prePoly()
+	total := c.base.Add(c.entry).Add(pre)
 	for _, g := range c.guarded {
 		total = total.Add(g.poly)
 	}
-	return Result{Cost: total, OneTime: e.pre, Unknowns: e.unknowns}, nil
+	return Result{Cost: total, OneTime: pre, Unknowns: e.unknowns}, nil
 }
 
 // LoopCtx describes one enclosing loop for fragment-level estimation.
@@ -295,7 +321,10 @@ func (c cost) add(d cost) cost {
 	}
 }
 
-func (e *Estimator) stmts(list []source.Stmt, loops []LoopCtx) (cost, error) {
+// stmts aggregates a statement list. path is the xform.Path-style
+// address of the list (nil inside regions paths cannot address, such
+// as IF branches); it positions loop nests for the nest cache.
+func (e *Estimator) stmts(list []source.Stmt, loops []LoopCtx, path []int) (cost, error) {
 	total := cost{base: symexpr.Zero(), entry: symexpr.Zero()}
 	i := 0
 	loopVars := make([]string, len(loops))
@@ -330,7 +359,7 @@ func (e *Estimator) stmts(list []source.Stmt, loops []LoopCtx) (cost, error) {
 		}
 		switch x := list[i].(type) {
 		case *source.DoLoop:
-			c, err := e.loop(x, loops)
+			c, err := e.loopUnit(x, loops, childPath(path, i))
 			if err != nil {
 				return cost{}, err
 			}
@@ -377,7 +406,7 @@ func isStraight(s source.Stmt) bool {
 func (e *Estimator) straight(stmts []source.Stmt, loopVars []string, inLoop bool) (cost, error) {
 	key := segKey(stmts, loopVars, inLoop)
 	if ent, ok := e.cache.lookup(key); ok {
-		e.pre = e.pre.AddConst(ent.pre)
+		e.addPre(ent.pre)
 		return cost{base: symexpr.Const(ent.iter), entry: symexpr.Const(ent.entry)}, nil
 	}
 	lw, err := e.trans.Body(stmts, loopVars)
@@ -386,12 +415,12 @@ func (e *Estimator) straight(stmts []source.Stmt, loopVars []string, inLoop bool
 	}
 	ent := segEntry{}
 	if len(lw.Pre.Instrs) > 0 {
-		preRes, err := tetris.Estimate(e.m, lw.Pre, e.opt.Tetris)
+		preRes, err := e.tetEstimate(lw.Pre)
 		if err != nil {
 			return cost{}, err
 		}
 		ent.pre = float64(preRes.Cost)
-		e.pre = e.pre.AddConst(ent.pre)
+		e.addPre(ent.pre)
 	}
 	switch {
 	case len(lw.Body.Instrs) == 0:
@@ -404,13 +433,13 @@ func (e *Estimator) straight(stmts []source.Stmt, loopVars []string, inLoop bool
 				chain[pv.InReg] = pv.OutReg
 			}
 		}
-		per, _, err := tetris.SteadyStateChained(e.m, lw.Body, e.opt.Tetris, e.opt.SteadyStateIters, chain)
+		per, err := e.tetSteadyStateChained(lw.Body, e.opt.SteadyStateIters, chain)
 		if err != nil {
 			return cost{}, err
 		}
 		ent.iter = per
 	default:
-		res, err := tetris.Estimate(e.m, lw.Body, e.opt.Tetris)
+		res, err := e.tetEstimate(lw.Body)
 		if err != nil {
 			return cost{}, err
 		}
@@ -422,7 +451,7 @@ func (e *Estimator) straight(stmts []source.Stmt, loopVars []string, inLoop bool
 		if blk == nil || len(blk.Instrs) == 0 {
 			continue
 		}
-		res, err := tetris.Estimate(e.m, blk, e.opt.Tetris)
+		res, err := e.tetEstimate(blk)
 		if err != nil {
 			return cost{}, err
 		}
@@ -441,8 +470,10 @@ func segKey(stmts []source.Stmt, loopVars []string, inLoop bool) string {
 }
 
 // loop aggregates C(do v = lb, ub, step {B}) = C(lb)+C(ub)+C(step) +
-// Σ_v (C(B(v)) + loop overhead) per §2.4.1.
-func (e *Estimator) loop(l *source.DoLoop, loops []LoopCtx) (cost, error) {
+// Σ_v (C(B(v)) + loop overhead) per §2.4.1. path positions the loop
+// for nested nest-cache lookups (see loopUnit, the caching wrapper
+// every caller goes through).
+func (e *Estimator) loop(l *source.DoLoop, loops []LoopCtx, path []int) (cost, error) {
 	loopVars := make([]string, len(loops))
 	for k, lc := range loops {
 		loopVars[k] = lc.Var
@@ -452,26 +483,15 @@ func (e *Estimator) loop(l *source.DoLoop, loops []LoopCtx) (cost, error) {
 		if b == nil {
 			continue
 		}
-		lw, err := e.trans.ExprOnly(b, loopVars)
+		ent, err := e.boundExprCost(b, loopVars)
 		if err != nil {
 			return cost{}, err
 		}
-		for _, blk := range []struct {
-			b   *ir.Block
-			pre bool
-		}{{lw.Body, false}, {lw.Pre, true}} {
-			if len(blk.b.Instrs) == 0 {
-				continue
-			}
-			res, err := tetris.Estimate(e.m, blk.b, e.opt.Tetris)
-			if err != nil {
-				return cost{}, err
-			}
-			if blk.pre {
-				e.pre = e.pre.AddConst(float64(res.Cost))
-			} else {
-				boundsCost = boundsCost.AddConst(float64(res.Cost))
-			}
+		if ent.hasIter {
+			boundsCost = boundsCost.AddConst(ent.iter)
+		}
+		if ent.hasPre {
+			e.addPre(ent.pre)
 		}
 	}
 
@@ -495,7 +515,7 @@ func (e *Estimator) loop(l *source.DoLoop, loops []LoopCtx) (cost, error) {
 	}
 
 	inner := append(append([]LoopCtx{}, loops...), LoopCtx{Var: l.Var, Lb: lbP, Ub: ubP, Step: step})
-	bodyCost, err := e.stmts(l.Body, inner)
+	bodyCost, err := e.stmts(l.Body, inner, path)
 	if err != nil {
 		return cost{}, err
 	}
@@ -576,16 +596,14 @@ func (e *Estimator) restrictedSum(g guardedTerm, v symexpr.Var, lb, ub symexpr.P
 // loopOverhead prices the increment/compare/back-branch, hidden under
 // the body's shape where possible.
 func (e *Estimator) loopOverhead(l *source.DoLoop, loopVars []string) (float64, error) {
-	ctl := lower.LoopOverhead()
-	res, err := tetris.Estimate(e.m, ctl, e.opt.Tetris)
+	base, err := e.ctlBase()
 	if err != nil {
 		return 0, err
 	}
-	base := float64(res.Cost)
 	// The back-branch is covered when the body keeps the non-FXU units
 	// busy past the compare (shape test): approximate with the body's
 	// first straight-line segment shape.
-	if shape, ok := e.bodyShape(l.Body, append(loopVars, l.Var)); ok {
+	if shape, ok := e.shapeFor(l.Body, append(loopVars, l.Var)); ok {
 		uncovered := tetris.BranchCovered(shape, int(base))
 		return float64(uncovered), nil
 	}
@@ -607,7 +625,7 @@ func (e *Estimator) bodyShape(body []source.Stmt, loopVars []string) (tetris.Cos
 	if err != nil || len(lw.Body.Instrs) == 0 {
 		return tetris.CostBlock{}, false
 	}
-	res, err := tetris.Estimate(e.m, lw.Body, e.opt.Tetris)
+	res, err := e.tetEstimate(lw.Body)
 	if err != nil {
 		return tetris.CostBlock{}, false
 	}
@@ -627,13 +645,13 @@ func (e *Estimator) ifStmt(s *source.IfStmt, loops []LoopCtx) (cost, error) {
 		return cost{}, err
 	}
 	if len(lw.Pre.Instrs) > 0 {
-		preRes, err := tetris.Estimate(e.m, lw.Pre, e.opt.Tetris)
+		preRes, err := e.tetEstimate(lw.Pre)
 		if err != nil {
 			return cost{}, err
 		}
-		e.pre = e.pre.AddConst(float64(preRes.Cost))
+		e.addPre(float64(preRes.Cost))
 	}
-	condRes, err := tetris.Estimate(e.m, lw.Body, e.opt.Tetris)
+	condRes, err := e.tetEstimate(lw.Body)
 	if err != nil {
 		return cost{}, err
 	}
@@ -641,7 +659,7 @@ func (e *Estimator) ifStmt(s *source.IfStmt, loops []LoopCtx) (cost, error) {
 	if len(loops) > 0 && e.opt.SteadyStateIters > 1 {
 		// Repeated evaluations of the condition overlap like any other
 		// straight-line block.
-		per, _, err := tetris.SteadyState(e.m, lw.Body, e.opt.Tetris, e.opt.SteadyStateIters)
+		per, err := e.tetSteadyState(lw.Body, e.opt.SteadyStateIters)
 		if err != nil {
 			return cost{}, err
 		}
@@ -649,11 +667,11 @@ func (e *Estimator) ifStmt(s *source.IfStmt, loops []LoopCtx) (cost, error) {
 	}
 	condCost = condCost.AddConst(condVal)
 
-	thenCost, err := e.stmts(s.Then, loops)
+	thenCost, err := e.stmts(s.Then, loops, nil)
 	if err != nil {
 		return cost{}, err
 	}
-	elseCost, err := e.stmts(s.Else, loops)
+	elseCost, err := e.stmts(s.Else, loops, nil)
 	if err != nil {
 		return cost{}, err
 	}
@@ -661,8 +679,8 @@ func (e *Estimator) ifStmt(s *source.IfStmt, loops []LoopCtx) (cost, error) {
 	cbr := float64(e.m.BranchCost)
 	// Branch-optimization shape test: a branch whose taken block keeps
 	// the FXU ahead of the FP pipes hides (part of) the penalty.
-	thenShape, thenShapeOK := e.bodyShape(s.Then, loopVars)
-	elseShape, elseShapeOK := e.bodyShape(s.Else, loopVars)
+	thenShape, thenShapeOK := e.shapeFor(s.Then, loopVars)
+	elseShape, elseShapeOK := e.shapeFor(s.Else, loopVars)
 	if thenShapeOK {
 		cbr = float64(tetris.BranchCovered(thenShape, e.m.BranchCost))
 	}
@@ -940,6 +958,12 @@ func (e *Estimator) exprPoly(x source.Expr, loopVars []string) symexpr.Poly {
 }
 
 func (e *Estimator) noteVar(v symexpr.Var, kind, desc string) {
+	if e.logging {
+		// Log the attempt before deduplication: a cached nest must
+		// replay every registration it would perform live, because the
+		// seen-set it replays against differs per traversal.
+		e.events = append(e.events, regEvent{v: v, kind: kind, desc: desc})
+	}
 	if e.seen[v] {
 		return
 	}
@@ -950,6 +974,9 @@ func (e *Estimator) noteVar(v symexpr.Var, kind, desc string) {
 func (e *Estimator) freshVar(kind, desc string) symexpr.Var {
 	e.fresh++
 	v := symexpr.Var(fmt.Sprintf("$%s%d", kind[:1], e.fresh))
+	if e.logging {
+		e.events = append(e.events, regEvent{fresh: true, v: v, kind: kind, desc: desc})
+	}
 	e.unknowns = append(e.unknowns, Unknown{Var: v, Kind: kind, Desc: desc})
 	e.seen[v] = true
 	return v

@@ -1,0 +1,185 @@
+package aggregate
+
+import (
+	"fmt"
+	"testing"
+
+	"perfpredict/internal/kernels"
+	"perfpredict/internal/machine"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+)
+
+// resultSignature renders every observable field of a Result so tests
+// can assert byte-identical pricing.
+func resultSignature(r Result) string {
+	return fmt.Sprintf("cost=%s|onetime=%s|unknowns=%+v", r.Cost, r.OneTime, r.Unknowns)
+}
+
+// TestPriceIncrementalMatchesFull prices every embedded kernel three
+// ways — plain estimator, cold shared caches, warm shared caches — and
+// requires byte-identical results.
+func TestPriceIncrementalMatchesFull(t *testing.T) {
+	m := machine.NewPOWER1()
+	opt := DefaultOptions()
+	for _, k := range kernels.All() {
+		p, tbl, err := k.Parse()
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		full, err := New(tbl, m, opt).Program(p)
+		if err != nil {
+			t.Fatalf("%s: full: %v", k.Name, err)
+		}
+		caches := Caches{Seg: NewSegCache(), Nest: NewNestCache()}
+		cold, err := PriceIncremental(p, nil, caches, tbl, m, opt)
+		if err != nil {
+			t.Fatalf("%s: cold incremental: %v", k.Name, err)
+		}
+		_, missesBefore := caches.Nest.Stats()
+		warm, err := PriceIncremental(p, nil, caches, tbl, m, opt)
+		if err != nil {
+			t.Fatalf("%s: warm incremental: %v", k.Name, err)
+		}
+		want := resultSignature(full)
+		if got := resultSignature(cold); got != want {
+			t.Errorf("%s: cold incremental diverged:\n got %s\nwant %s", k.Name, got, want)
+		}
+		if got := resultSignature(warm); got != want {
+			t.Errorf("%s: warm incremental diverged:\n got %s\nwant %s", k.Name, got, want)
+		}
+		hits, missesAfter := caches.Nest.Stats()
+		if missesAfter != missesBefore {
+			t.Errorf("%s: warm re-pricing re-priced %d nests; want 0", k.Name, missesAfter-missesBefore)
+		}
+		if hasLoop(p.Body) && hits == 0 {
+			t.Errorf("%s: warm re-pricing hit no nests", k.Name)
+		}
+	}
+}
+
+func hasLoop(list []source.Stmt) bool {
+	for _, s := range list {
+		switch x := s.(type) {
+		case *source.DoLoop:
+			return true
+		case *source.IfStmt:
+			if hasLoop(x.Then) || hasLoop(x.Else) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestNestCacheRelocation stores a nest whose pricing allocated fresh
+// unknowns ($o2 in program A) and splices it into a program where the
+// same nest must come out with differently numbered unknowns ($o1) —
+// the rename path of the relocatable-entry design.
+func TestNestCacheRelocation(t *testing.T) {
+	const progA = `
+program pa
+  integer i, j, n
+  real a(100), b(100)
+  do i = 1, min(n, 50)
+    a(i) = a(i) + 1.0
+  end do
+  do j = 1, min(n, 60)
+    b(j) = b(j) * 2.0
+  end do
+end
+`
+	const progB = `
+program pb
+  integer j, n
+  real b(100)
+  do j = 1, min(n, 60)
+    b(j) = b(j) * 2.0
+  end do
+end
+`
+	m := machine.NewPOWER1()
+	opt := DefaultOptions()
+	parse := func(src string) (*source.Program, *sem.Table) {
+		p, err := source.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		tbl, err := sem.Analyze(p)
+		if err != nil {
+			t.Fatalf("analyze: %v", err)
+		}
+		return p, tbl
+	}
+	pa, tblA := parse(progA)
+	pb, tblB := parse(progB)
+
+	caches := Caches{Seg: NewSegCache(), Nest: NewNestCache()}
+	if _, err := PriceIncremental(pa, nil, caches, tblA, m, opt); err != nil {
+		t.Fatalf("pricing A: %v", err)
+	}
+	hitsBefore, _ := caches.Nest.Stats()
+	spliced, err := PriceIncremental(pb, nil, caches, tblB, m, opt)
+	if err != nil {
+		t.Fatalf("pricing B incrementally: %v", err)
+	}
+	hitsAfter, _ := caches.Nest.Stats()
+	if hitsAfter <= hitsBefore {
+		t.Fatalf("B's nest did not hit A's cached entry (hits %d -> %d)", hitsBefore, hitsAfter)
+	}
+	full, err := New(tblB, m, opt).Program(pb)
+	if err != nil {
+		t.Fatalf("pricing B fully: %v", err)
+	}
+	if got, want := resultSignature(spliced), resultSignature(full); got != want {
+		t.Errorf("relocated splice diverged:\n got %s\nwant %s", got, want)
+	}
+	// The fresh unknown must have been renumbered into B's namespace.
+	found := false
+	for _, u := range spliced.Unknowns {
+		if u.Var == "$o1" {
+			found = true
+		}
+		if u.Var == "$o2" {
+			t.Errorf("spliced result leaked A's fresh variable %s", u.Var)
+		}
+	}
+	if !found {
+		t.Errorf("spliced result missing renumbered fresh unknown $o1: %+v", spliced.Unknowns)
+	}
+}
+
+// TestPriceIncrementalDirtyHint checks the advisory dirty-path hint:
+// wrong hints may cost hits but never change results.
+func TestPriceIncrementalDirtyHint(t *testing.T) {
+	k, err := kernels.Get("matmul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, tbl, err := k.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.NewPOWER1()
+	opt := DefaultOptions()
+	full, err := New(tbl, m, opt).Program(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caches := Caches{Seg: NewSegCache(), Nest: NewNestCache()}
+	for _, hint := range [][][]int{
+		nil,
+		{{0}},          // the whole outer nest is dirty
+		{{0, 0, 0}},    // innermost nest dirty
+		{{7, 3}},       // nonexistent path
+		{{0}, {1}, {}}, // everything dirty, including the empty root prefix
+	} {
+		got, err := PriceIncremental(p, hint, caches, tbl, m, opt)
+		if err != nil {
+			t.Fatalf("hint %v: %v", hint, err)
+		}
+		if gotSig, want := resultSignature(got), resultSignature(full); gotSig != want {
+			t.Errorf("hint %v diverged:\n got %s\nwant %s", hint, gotSig, want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package symexpr
+
+// RenameVars returns p with every variable renamed through m;
+// variables absent from m are kept. The rename is simultaneous — each
+// new monomial is built from the original, so cycles such as
+// {a→b, b→a} behave correctly and never collide mid-rename. Terms
+// whose monomials become equal under a non-injective m merge by
+// coefficient addition.
+//
+// The incremental re-pricing layer uses this to relocate cached nest
+// costs: fresh unknowns ($o3, $p4, …) are numbered by the order the
+// estimator encountered them, so splicing a cached nest into a new
+// traversal shifts its fresh-variable indices while all other
+// variables stay fixed.
+func RenameVars(p Poly, m map[Var]Var) Poly {
+	if len(p.terms) == 0 || len(m) == 0 {
+		return p.clone()
+	}
+	out := Poly{terms: make(map[string]polyTerm, len(p.terms))}
+	for k, t := range p.terms {
+		touched := false
+		for v := range t.mono {
+			if nv, ok := m[v]; ok && nv != v {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			// Monomial unchanged; share it (immutable) under its key.
+			addInto(out.terms, k, t.coeff, t.mono)
+			continue
+		}
+		nm := make(Monomial, len(t.mono))
+		for v, e := range t.mono {
+			if e == 0 {
+				continue
+			}
+			nv := v
+			if r, ok := m[v]; ok {
+				nv = r
+			}
+			nm[nv] += e
+		}
+		for v, e := range nm {
+			if e == 0 {
+				delete(nm, v)
+			}
+		}
+		addInto(out.terms, nm.key(), t.coeff, nm)
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package symexpr
+
+import "testing"
+
+func TestRenameVars(t *testing.T) {
+	// 3·a²b + 2·b + 5
+	p := Term(3, Monomial{"a": 2, "b": 1}).
+		Add(Term(2, Monomial{"b": 1})).
+		AddConst(5)
+
+	got := RenameVars(p, map[Var]Var{"a": "x", "b": "y"})
+	want := Term(3, Monomial{"x": 2, "y": 1}).
+		Add(Term(2, Monomial{"y": 1})).
+		AddConst(5)
+	if got.String() != want.String() {
+		t.Errorf("rename: got %s, want %s", got, want)
+	}
+
+	// Simultaneous swap must not collide mid-rename.
+	swapped := RenameVars(p, map[Var]Var{"a": "b", "b": "a"})
+	wantSwap := Term(3, Monomial{"b": 2, "a": 1}).
+		Add(Term(2, Monomial{"a": 1})).
+		AddConst(5)
+	if swapped.String() != wantSwap.String() {
+		t.Errorf("swap: got %s, want %s", swapped, wantSwap)
+	}
+
+	// Non-injective renames merge terms.
+	q := Term(1, Monomial{"a": 1}).Add(Term(2, Monomial{"b": 1}))
+	merged := RenameVars(q, map[Var]Var{"a": "c", "b": "c"})
+	wantMerge := Term(3, Monomial{"c": 1})
+	if merged.String() != wantMerge.String() {
+		t.Errorf("merge: got %s, want %s", merged, wantMerge)
+	}
+
+	// Identity and empty maps are no-ops.
+	if got := RenameVars(p, nil); got.String() != p.String() {
+		t.Errorf("nil map: got %s, want %s", got, p)
+	}
+	if got := RenameVars(p, map[Var]Var{"zz": "q"}); got.String() != p.String() {
+		t.Errorf("irrelevant map: got %s, want %s", got, p)
+	}
+	if got := RenameVars(Zero(), map[Var]Var{"a": "b"}); !got.IsZero() {
+		t.Errorf("zero poly: got %s", got)
+	}
+}

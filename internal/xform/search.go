@@ -51,8 +51,11 @@ type SearchOptions struct {
 	// Nominal assigns values to performance-expression unknowns when
 	// ranking variants; unknowns absent from the map default to
 	// DefaultUnknown.
-	Nominal        map[symexpr.Var]float64
-	DefaultUnknown float64
+	Nominal map[symexpr.Var]float64
+	// DefaultUnknown is the value assigned to unknowns missing from
+	// Nominal. nil means 100; a pointer to 0 is honored as an explicit
+	// zero (it is a pointer precisely so zero is expressible).
+	DefaultUnknown *float64
 	// MaxNodes bounds the number of expanded states (default 40).
 	MaxNodes int
 	// MaxDepth bounds the transformation sequence length (default 3).
@@ -60,17 +63,28 @@ type SearchOptions struct {
 	// UnrollFactors and TileSizes to propose (defaults {2,4} / {16}).
 	UnrollFactors []int
 	TileSizes     []int
-	AggOpt        aggregate.Options
+	// AggOpt overrides the aggregation options. nil means
+	// aggregate.DefaultOptions(); an explicit zero-valued Options is
+	// honored as given.
+	AggOpt *aggregate.Options
 	// DisableFuse/DisableTile trim the move set.
 	DisableFuse bool
 	DisableTile bool
+	// DisableNestCache turns the nest-level cost cache into a counting
+	// no-op: every nest of every candidate is re-priced from scratch
+	// (the pre-incremental behavior), while the re-pricing and tetris
+	// counters keep reporting — the baseline side of a before/after
+	// comparison. Results are identical either way.
+	DisableNestCache bool
 	// Workers bounds the concurrency of neighbor expansion: the
 	// candidate variants of each expanded state are transformed and
-	// priced on a worker pool sharing the search's segment cache.
-	// <= 0 uses runtime.GOMAXPROCS(0); 1 forces serial expansion.
-	// Results are identical for any worker count: candidates are
-	// enumerated, deduplicated and pushed in deterministic move order,
-	// and cached segment costs do not depend on fill interleaving.
+	// priced on a worker pool sharing the search's segment and nest
+	// caches. <= 0 uses runtime.GOMAXPROCS(0); 1 forces serial
+	// expansion. Results are identical for any worker count:
+	// candidates are enumerated, deduplicated and pushed in
+	// deterministic move order, and cached costs do not depend on fill
+	// interleaving (nest entries splice identically wherever they were
+	// captured).
 	Workers int
 }
 
@@ -87,12 +101,22 @@ func (o *SearchOptions) defaults() {
 	if len(o.TileSizes) == 0 {
 		o.TileSizes = []int{16}
 	}
-	if o.DefaultUnknown == 0 {
-		o.DefaultUnknown = 100
+}
+
+// defaultUnknown resolves the DefaultUnknown option (nil → 100).
+func (o *SearchOptions) defaultUnknown() float64 {
+	if o.DefaultUnknown != nil {
+		return *o.DefaultUnknown
 	}
-	if o.AggOpt.SteadyStateIters == 0 {
-		o.AggOpt = aggregate.DefaultOptions()
+	return 100
+}
+
+// aggOptions resolves the AggOpt option (nil → DefaultOptions).
+func (o *SearchOptions) aggOptions() aggregate.Options {
+	if o.AggOpt != nil {
+		return *o.AggOpt
 	}
+	return aggregate.DefaultOptions()
 }
 
 // SearchResult reports the best variant found.
@@ -102,8 +126,17 @@ type SearchResult struct {
 	InitialCost float64
 	Sequence    []Move
 	Explored    int
+	// CacheHits/CacheMisses count straight-line segment lookups in the
+	// search's shared SegCache.
 	CacheHits   int
 	CacheMisses int
+	// NestHits counts loop nests whose whole cost was spliced from the
+	// nest cache; NestMisses counts nests actually re-priced (for a
+	// counting-mode cache every nest is a miss). TetrisCalls counts
+	// scheduler invocations performed — the work the nest cache avoids.
+	NestHits    int
+	NestMisses  int
+	TetrisCalls int
 }
 
 // Moves enumerates the legal transformations of a program. Legality
@@ -148,12 +181,17 @@ func Moves(p *source.Program, opt SearchOptions) []Move {
 // Predict evaluates the aggregated cost of a program at the nominal
 // assignment, sharing the given segment cache.
 func Predict(p *source.Program, opt SearchOptions, cache *aggregate.SegCache) (float64, error) {
+	return predictWith(p, opt, aggregate.Caches{Seg: cache}, nil)
+}
+
+// predictWith prices a program through the search's shared caches,
+// passing the advisory dirty-path hint to the incremental estimator.
+func predictWith(p *source.Program, opt SearchOptions, caches aggregate.Caches, dirty [][]int) (float64, error) {
 	tbl, err := sem.Analyze(p)
 	if err != nil {
 		return 0, err
 	}
-	est := aggregate.NewWithCache(tbl, opt.Machine, opt.AggOpt, cache)
-	res, err := est.Program(p)
+	res, err := aggregate.PriceIncremental(p, dirty, caches, tbl, opt.Machine, opt.aggOptions())
 	if err != nil {
 		return 0, err
 	}
@@ -162,7 +200,7 @@ func Predict(p *source.Program, opt SearchOptions, cache *aggregate.SegCache) (f
 		if val, ok := opt.Nominal[v]; ok {
 			assign[v] = val
 		} else {
-			assign[v] = opt.DefaultUnknown
+			assign[v] = opt.defaultUnknown()
 		}
 	}
 	return res.Cost.Eval(assign)
@@ -179,7 +217,7 @@ type state struct {
 // expansion).
 type candidate struct {
 	prog *source.Program
-	key  string
+	fp   source.Fingerprint
 	cost float64
 	skip bool
 }
@@ -207,14 +245,19 @@ func Search(p *source.Program, opt SearchOptions) (SearchResult, error) {
 	if opt.Machine == nil {
 		return SearchResult{}, fmt.Errorf("xform: SearchOptions.Machine is required")
 	}
-	cache := aggregate.NewSegCache()
-	initCost, err := Predict(p, opt, cache)
+	caches := aggregate.Caches{Seg: aggregate.NewSegCache()}
+	if opt.DisableNestCache {
+		caches.Nest = aggregate.NewNestCacheCounting()
+	} else {
+		caches.Nest = aggregate.NewNestCache()
+	}
+	initCost, err := predictWith(p, opt, caches, nil)
 	if err != nil {
 		return SearchResult{}, err
 	}
 	start := &state{prog: p, cost: initCost}
 	best := start
-	visited := map[string]bool{source.PrintProgram(p): true}
+	visited := map[source.Fingerprint]bool{source.FingerprintProgram(p): true}
 	h := &stateHeap{start}
 	explored := 0
 	for h.Len() > 0 && explored < opt.MaxNodes {
@@ -238,23 +281,26 @@ func Search(p *source.Program, opt SearchOptions) (SearchResult, error) {
 				return
 			}
 			cands[i].prog = next
-			cands[i].key = source.PrintProgram(next)
+			cands[i].fp = source.FingerprintProgram(next)
 		})
 		for i := range cands {
 			if cands[i].skip {
 				continue
 			}
-			if visited[cands[i].key] {
+			if visited[cands[i].fp] {
 				cands[i].skip = true
 				continue
 			}
-			visited[cands[i].key] = true
+			visited[cands[i].fp] = true
 		}
 		workpool.Run(len(cands), opt.Workers, func(i int) {
 			if cands[i].skip {
 				return
 			}
-			c, err := Predict(cands[i].prog, opt, cache)
+			// The move's path is the advisory dirty hint: only the
+			// transformed nest skips its cache probe; every untouched
+			// nest — including ones the move shifted — is looked up.
+			c, err := predictWith(cands[i].prog, opt, caches, [][]int{[]int(moves[i].Path)})
 			if err != nil {
 				cands[i].skip = true
 				return
@@ -272,7 +318,8 @@ func Search(p *source.Program, opt SearchOptions) (SearchResult, error) {
 			heap.Push(h, st)
 		}
 	}
-	hits, misses := cache.Stats()
+	hits, misses := caches.Seg.Stats()
+	nestHits, nestMisses := caches.Nest.Stats()
 	return SearchResult{
 		Best:        best.prog,
 		BestCost:    best.cost,
@@ -281,5 +328,8 @@ func Search(p *source.Program, opt SearchOptions) (SearchResult, error) {
 		Explored:    explored,
 		CacheHits:   hits,
 		CacheMisses: misses,
+		NestHits:    nestHits,
+		NestMisses:  nestMisses,
+		TetrisCalls: caches.Nest.TetrisCalls(),
 	}, nil
 }

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Perf-trajectory recorder: runs the search/batch benchmarks with
+# -benchmem and writes BENCH_optimize.json (one JSON object per
+# benchmark line, plus the raw go-test output next to it in
+# BENCH_optimize.txt). Non-gating — failures here should not fail CI,
+# only lose a data point.
+#
+# Usage: scripts/bench.sh [benchtime]   (from anywhere; default 1x)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-1x}"
+out_json="BENCH_optimize.json"
+out_txt="BENCH_optimize.txt"
+
+go test -run '^$' -bench 'BenchmarkOptimize|BenchmarkPredictBatch' \
+	-benchtime "$benchtime" -benchmem . | tee "$out_txt"
+
+# Convert `BenchmarkName  N  value unit  value unit ...` lines to JSON.
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+	if (n++) printf ",\n"
+	printf "  {\"name\":\"%s\",\"iterations\":%s", $1, $2
+	for (i = 3; i + 1 <= NF; i += 2)
+		printf ",\"%s\":%s", $(i + 1), $i
+	printf "}"
+}
+END { print "\n]" }
+' "$out_txt" >"$out_json"
+
+echo "wrote $out_json"

@@ -28,4 +28,7 @@ go test -race ./...
 echo "== benchmarks (1 iteration each)"
 go test -run '^$' -bench . -benchtime 1x ./...
 
+echo "== perf trajectory (non-gating)"
+sh scripts/bench.sh || echo "bench.sh failed (non-gating)" >&2
+
 echo "CI OK"
