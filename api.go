@@ -35,6 +35,8 @@ package perfpredict
 
 import (
 	"fmt"
+	"os"
+	"strings"
 
 	"perfpredict/internal/aggregate"
 	"perfpredict/internal/interp"
@@ -55,18 +57,63 @@ type Var = symexpr.Var
 // Target describes the machine being predicted for.
 type Target = machine.Machine
 
+// mustTarget resolves a builtin target through the machine registry;
+// builtins are embedded spec files, so failure is a build bug.
+func mustTarget(name string) *Target {
+	m, err := machine.Lookup(name)
+	if err != nil {
+		panic("perfpredict: builtin target: " + err.Error())
+	}
+	return m
+}
+
 // POWER1 returns the IBM RS/6000 POWER-like target of the paper's
-// examples (FXU/FPU/branch/CR units, fused multiply-add).
-func POWER1() *Target { return machine.NewPOWER1() }
+// examples (FXU/FPU/branch/CR units, fused multiply-add), loaded from
+// its registered machine spec.
+func POWER1() *Target { return mustTarget("POWER1") }
 
 // SuperScalar2 returns a wider hypothetical machine with two
 // fixed-point and two floating-point pipes.
-func SuperScalar2() *Target { return machine.NewSuperScalar2() }
+func SuperScalar2() *Target { return mustTarget("SuperScalar2") }
 
 // Scalar1 returns a conventional single-issue machine with no
 // overlap; on it the framework degenerates to an operation-count cost
 // model (the baseline the paper improves upon).
-func Scalar1() *Target { return machine.NewScalar1() }
+func Scalar1() *Target { return mustTarget("Scalar1") }
+
+// TargetNames lists every registered target machine, sorted — the
+// valid names LoadTarget resolves without touching the filesystem.
+func TargetNames() []string { return machine.Names() }
+
+// LoadTarget resolves a target from a registered machine name
+// (case-insensitive) or, failing that, from a machine-spec file at the
+// given path. Retargeting the predictor is exactly the paper's §2.2
+// claim — "defining the atomic operation mapping and the atomic
+// operation cost table" — and a spec file is that definition as data:
+// it is parsed, strictly validated (unknown units, malformed or
+// overlapping cost segments, and missing basic-operation mappings are
+// load-time errors), and built into a fresh Target. Every mapping the
+// lowering layer requires (internal/lower.RequiredOps) is guaranteed
+// present on success.
+func LoadTarget(nameOrPath string) (*Target, error) {
+	if m, err := machine.Lookup(nameOrPath); err == nil {
+		return m, nil
+	}
+	data, rerr := os.ReadFile(nameOrPath)
+	if rerr != nil {
+		return nil, fmt.Errorf("perfpredict: unknown machine %q (registered: %s), and no spec file there: %v",
+			nameOrPath, strings.Join(machine.Names(), ", "), rerr)
+	}
+	spec, err := machine.ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("perfpredict: %s: %w", nameOrPath, err)
+	}
+	m, err := spec.Machine()
+	if err != nil {
+		return nil, fmt.Errorf("perfpredict: %s: %w", nameOrPath, err)
+	}
+	return m, nil
+}
 
 // Unknown describes one symbolic variable of a prediction.
 type Unknown struct {

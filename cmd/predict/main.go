@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	predict [-machine POWER1|SuperScalar2|Scalar1] [-args n=1000,alpha=2]
+//	predict [-machine NAME|spec.json] [-args n=1000,alpha=2]
 //	        [-simulate] [-block] [-optimize [-v]] file.f
 //	predict [-machine M] [-args ...] [-parallel N] file1.f file2.f ...
+//	predict -list-machines
 //
+// -machine accepts either a registered target name (see
+// -list-machines; matching is case-insensitive) or a path to a
+// machine-spec file, which is validated and loaded as a custom target.
 // With no file, a built-in kernel name may be given via -kernel.
 // Several files select batch mode: they are priced concurrently on a
 // worker pool (bounded by -parallel, default GOMAXPROCS) sharing one
@@ -27,7 +31,8 @@ import (
 )
 
 func main() {
-	machineName := flag.String("machine", "POWER1", "target machine: POWER1, SuperScalar2, Scalar1")
+	machineName := flag.String("machine", "POWER1", "registered target name or path to a machine-spec file")
+	listMachines := flag.Bool("list-machines", false, "list registered target machines and exit")
 	argList := flag.String("args", "", "comma-separated name=value assignments for unknowns")
 	kernel := flag.String("kernel", "", "analyze a built-in kernel instead of a file")
 	simulate := flag.Bool("simulate", false, "also run the reference pipeline simulation")
@@ -37,16 +42,16 @@ func main() {
 	parallel := flag.Int("parallel", 0, "batch worker pool size (0 = GOMAXPROCS); used with multiple files")
 	flag.Parse()
 
-	var target *perfpredict.Target
-	switch strings.ToLower(*machineName) {
-	case "power1":
-		target = perfpredict.POWER1()
-	case "superscalar2":
-		target = perfpredict.SuperScalar2()
-	case "scalar1":
-		target = perfpredict.Scalar1()
-	default:
-		fatalf("unknown machine %q", *machineName)
+	if *listMachines {
+		for _, name := range perfpredict.TargetNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	target, err := perfpredict.LoadTarget(*machineName)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	args := parseArgs(*argList)

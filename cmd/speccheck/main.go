@@ -1,0 +1,113 @@
+// Command speccheck validates machine descriptions as data artifacts:
+// every embedded builtin spec, plus any spec files given as arguments,
+// must parse, pass strict validation, cover every basic operation the
+// lowering layer can emit, and round-trip (parse → print → parse is
+// the identity, and printing is canonical). CI runs it so a broken
+// target description fails the build instead of a prediction.
+//
+// Usage:
+//
+//	speccheck [spec.json ...]
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+
+	"perfpredict/internal/lower"
+	"perfpredict/internal/machine"
+)
+
+func main() {
+	failed := false
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "speccheck: "+format+"\n", args...)
+		failed = true
+	}
+
+	embedded, err := machine.EmbeddedSpecs()
+	if err != nil {
+		fail("embedded specs: %v", err)
+	}
+	names := make([]string, 0, len(embedded))
+	for name := range embedded {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := check(name, embedded[name]); err != nil {
+			fail("%v", err)
+		}
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail("%v", err)
+			continue
+		}
+		if err := check(path, data); err != nil {
+			fail("%v", err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// check runs the full artifact gauntlet over one spec file.
+func check(name string, data []byte) error {
+	spec, err := machine.ParseSpec(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	m, err := spec.Machine()
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("%s: built machine: %w", name, err)
+	}
+	// The lowering contract: every op the translation module can emit
+	// must be costed. Spec validation demands the full ir op set (a
+	// superset), but checking the precise contract here keeps the two
+	// layers honest if either ever loosens.
+	for _, op := range lower.RequiredOps() {
+		if _, ok := m.Table[op]; !ok {
+			return fmt.Errorf("%s: missing lowering-required op %s", name, op)
+		}
+	}
+	// Round-trip: the canonical encoding re-parses to the same spec and
+	// re-encodes byte-identically.
+	enc, err := spec.Encode()
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	spec2, err := machine.ParseSpec(enc)
+	if err != nil {
+		return fmt.Errorf("%s: re-parse of canonical encoding: %w", name, err)
+	}
+	if !reflect.DeepEqual(spec, spec2) {
+		return fmt.Errorf("%s: parse → print → parse is not the identity", name)
+	}
+	enc2, err := spec2.Encode()
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		return fmt.Errorf("%s: canonical encoding is not a fixed point", name)
+	}
+	// Content fingerprints survive the round trip.
+	m2, err := spec2.Machine()
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	if m.Fingerprint() != m2.Fingerprint() {
+		return fmt.Errorf("%s: fingerprint changed across round trip", name)
+	}
+	fmt.Printf("ok   %-28s %s (%d units, %d ops, fp %s)\n",
+		name, m.Name, len(m.UnitCounts), len(m.Table), m.Fingerprint())
+	return nil
+}

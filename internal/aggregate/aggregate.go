@@ -198,6 +198,8 @@ type Estimator struct {
 	changed [][]int
 	logging bool
 	events  []regEvent
+	machFP  source.Fingerprint // machine content (Machine.Fingerprint)
+	machKey string             // machFP rendered for textual segment keys
 	keyFP   source.Fingerprint // machine + options
 	auxFP   source.Fingerprint // keyFP + whole-program environment
 }
@@ -227,13 +229,16 @@ func NewWithCache(tbl *sem.Table, m *machine.Machine, opt Options, cache *SegCac
 	if cache == nil {
 		cache = NewSegCache()
 	}
+	mfp := m.Fingerprint()
 	return &Estimator{
-		tbl:   tbl,
-		m:     m,
-		opt:   opt,
-		trans: lower.New(tbl, m, opt.Lower),
-		seen:  map[symexpr.Var]bool{},
-		cache: cache,
+		tbl:     tbl,
+		m:       m,
+		opt:     opt,
+		trans:   lower.New(tbl, m, opt.Lower),
+		seen:    map[symexpr.Var]bool{},
+		cache:   cache,
+		machFP:  mfp,
+		machKey: mfp.String(),
 	}
 }
 
@@ -404,7 +409,7 @@ func isStraight(s source.Stmt) bool {
 // steady-state per-iteration cost is used (iterations overlap in the
 // bins); the hoisted preheader cost accumulates into the one-time bin.
 func (e *Estimator) straight(stmts []source.Stmt, loopVars []string, inLoop bool) (cost, error) {
-	key := segKey(stmts, loopVars, inLoop)
+	key := e.segKey(stmts, loopVars, inLoop)
 	if ent, ok := e.cache.lookup(key); ok {
 		e.addPre(ent.pre)
 		return cost{base: symexpr.Const(ent.iter), entry: symexpr.Const(ent.entry)}, nil
@@ -461,8 +466,13 @@ func (e *Estimator) straight(stmts []source.Stmt, loopVars []string, inLoop bool
 	return cost{base: symexpr.Const(ent.iter), entry: symexpr.Const(ent.entry)}, nil
 }
 
-func segKey(stmts []source.Stmt, loopVars []string, inLoop bool) string {
-	k := source.StmtsString(stmts) + "|" + fmt.Sprint(loopVars)
+// segKey builds a segment-cache key. It is prefixed with the machine's
+// content fingerprint: a SegCache shared across targets (successive
+// batches, multi-target searches) can only hit entries priced for a
+// machine with the identical cost table — name and pointer identity
+// play no part.
+func (e *Estimator) segKey(stmts []source.Stmt, loopVars []string, inLoop bool) string {
+	k := e.machKey + "|" + source.StmtsString(stmts) + "|" + fmt.Sprint(loopVars)
 	if inLoop {
 		k += "|L"
 	}

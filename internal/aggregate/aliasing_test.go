@@ -1,0 +1,122 @@
+package aggregate
+
+import (
+	"testing"
+
+	"perfpredict/internal/ir"
+	"perfpredict/internal/kernels"
+	"perfpredict/internal/machine"
+)
+
+// power1Slowed returns a machine that still calls itself "POWER1" but
+// prices loads three cycles slower — the adversarial
+// same-name/different-table case that name-keyed caches alias.
+func power1Slowed(t *testing.T) *machine.Machine {
+	t.Helper()
+	m := machine.ReferencePOWER1()
+	m.Table[ir.OpFLoad][0].Segments[0].Noncov += 3
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCachesKeyOnMachineContent is the cache-aliasing regression test:
+// two machines with the same Name but different cost tables must not
+// share SegCache or NestCache entries. Before content fingerprinting,
+// the second machine read the first machine's cached prices.
+func TestCachesKeyOnMachineContent(t *testing.T) {
+	fast := machine.ReferencePOWER1()
+	slow := power1Slowed(t)
+
+	for _, k := range kernels.All() {
+		p, tbl, err := k.Parse()
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		opt := DefaultOptions()
+
+		// Oracle prices from cache-less estimators.
+		wantFast, err := New(tbl, fast, opt).Program(p)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		wantSlow, err := New(tbl, slow, opt).Program(p)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if resultSignature(wantFast) == resultSignature(wantSlow) {
+			// A kernel with no fadd can't distinguish the machines;
+			// it proves nothing about aliasing either way.
+			continue
+		}
+
+		// One shared cache pair, warmed by the fast machine, then
+		// reused — same program, same machine *name* — by the slow one.
+		caches := Caches{Seg: NewSegCache(), Nest: NewNestCache()}
+		gotFast, err := PriceIncremental(p, nil, caches, tbl, fast, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		gotSlow, err := PriceIncremental(p, nil, caches, tbl, slow, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if resultSignature(gotFast) != resultSignature(wantFast) {
+			t.Errorf("%s: fast machine with shared caches diverged from oracle:\n got %s\nwant %s",
+				k.Name, resultSignature(gotFast), resultSignature(wantFast))
+		}
+		if resultSignature(gotSlow) != resultSignature(wantSlow) {
+			t.Errorf("%s: slow machine read the fast machine's cache entries:\n got %s\nwant %s",
+				k.Name, resultSignature(gotSlow), resultSignature(wantSlow))
+		}
+	}
+}
+
+// TestSegCacheKeysOnMachineContent isolates the SegCache layer: a
+// single shared segment-cost cache serving two same-named machines
+// must give each its own prices.
+func TestSegCacheKeysOnMachineContent(t *testing.T) {
+	fast := machine.ReferencePOWER1()
+	slow := power1Slowed(t)
+
+	k, err := kernels.Get("daxpy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, tbl, err := k.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+
+	wantFast, err := New(tbl, fast, opt).Program(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSlow, err := New(tbl, slow, opt).Program(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultSignature(wantFast) == resultSignature(wantSlow) {
+		t.Fatal("daxpy no longer distinguishes the two machines; pick a kernel with loads in the hot path")
+	}
+
+	shared := NewSegCache()
+	gotFast, err := NewWithCache(tbl, fast, opt, shared).Program(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSlow, err := NewWithCache(tbl, slow, opt, shared).Program(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultSignature(gotFast) != resultSignature(wantFast) {
+		t.Errorf("fast machine via shared SegCache diverged:\n got %s\nwant %s",
+			resultSignature(gotFast), resultSignature(wantFast))
+	}
+	if resultSignature(gotSlow) != resultSignature(wantSlow) {
+		t.Errorf("slow machine aliased the fast machine's SegCache entries:\n got %s\nwant %s",
+			resultSignature(gotSlow), resultSignature(wantSlow))
+	}
+}

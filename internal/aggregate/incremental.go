@@ -33,7 +33,7 @@ func NewWithCaches(tbl *sem.Table, m *machine.Machine, opt Options, caches Cache
 	e := NewWithCache(tbl, m, opt, caches.Seg)
 	if caches.Nest != nil {
 		e.nc = caches.Nest
-		e.keyFP = optionsFingerprint(m, e.opt)
+		e.keyFP = optionsFingerprint(e.machFP, e.opt)
 	}
 	return e
 }
@@ -57,11 +57,13 @@ func PriceIncremental(p *source.Program, changedPaths [][]int, caches Caches, tb
 }
 
 // optionsFingerprint hashes everything besides the program that a
-// cached cost depends on: the machine identity and the full option set
-// (lowering flags, tetris options, steady-state and branch handling,
-// and the external-library table).
-func optionsFingerprint(m *machine.Machine, opt Options) source.Fingerprint {
-	fp := source.Fingerprint{}.MixString(m.Name)
+// cached cost depends on: the machine *content* fingerprint (unit
+// inventory, dispatch width, flags, and the whole cost table — never
+// just the name, so same-named targets with different tables cannot
+// alias) and the full option set (lowering flags, tetris options,
+// steady-state and branch handling, and the external-library table).
+func optionsFingerprint(machFP source.Fingerprint, opt Options) source.Fingerprint {
+	fp := machFP
 	fp = fp.MixString(fmt.Sprintf("%+v|%+v|%d|%t|%g|%g",
 		opt.Lower, opt.Tetris, opt.SteadyStateIters,
 		opt.SimplifyCloseBranches, opt.CloseTol, opt.AssumeBranchProb))

@@ -169,3 +169,18 @@ func TestBlockString(t *testing.T) {
 		t.Errorf("block string: %q", s)
 	}
 }
+
+func TestParseOp(t *testing.T) {
+	for _, op := range AllOps() {
+		got, ok := ParseOp(op.String())
+		if !ok || got != op {
+			t.Errorf("ParseOp(%q) = %v, %v; want %v, true", op.String(), got, ok, op)
+		}
+	}
+	if _, ok := ParseOp("warp"); ok {
+		t.Error("ParseOp accepted an unknown mnemonic")
+	}
+	if _, ok := ParseOp(""); ok {
+		t.Error("ParseOp accepted the empty string")
+	}
+}

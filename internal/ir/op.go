@@ -158,3 +158,20 @@ func AllOps() []Op {
 	}
 	return out
 }
+
+// opByName maps mnemonics back to opcodes, for machine descriptions
+// expressed as data rather than code.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, int(opEnd)-1)
+	for op := OpInvalid + 1; op < opEnd; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// ParseOp resolves a mnemonic (as produced by Op.String) to its
+// opcode. It reports false for unknown names and for "invalid".
+func ParseOp(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"perfpredict/internal/ir"
+	"perfpredict/internal/kernels"
 	"perfpredict/internal/machine"
 	"perfpredict/internal/sem"
 	"perfpredict/internal/source"
@@ -552,5 +553,41 @@ end
 	}
 	if stores != 1 {
 		t.Errorf("s post stores = %d, want 1\n%s", stores, lw.Post)
+	}
+}
+
+// RequiredOps is the retargeting contract: every op the lowering of
+// the embedded kernels actually emits must be in the list, and the
+// list must contain no duplicates.
+func TestRequiredOpsContract(t *testing.T) {
+	required := make(map[ir.Op]bool)
+	for _, op := range RequiredOps() {
+		if required[op] {
+			t.Errorf("RequiredOps lists %s twice", op)
+		}
+		required[op] = true
+	}
+	checkBlock := func(name string, b *ir.Block) {
+		if b == nil {
+			return
+		}
+		for _, inst := range b.Instrs {
+			if !required[inst.Op] {
+				t.Errorf("%s: lowering emitted %s, absent from RequiredOps", name, inst.Op)
+			}
+		}
+	}
+	for _, k := range kernels.All() {
+		p, tbl, err := k.Parse()
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		stmts, vars := innermost(p.Body)
+		lw, err := New(tbl, machine.NewPOWER1(), DefaultOptions()).Body(stmts, vars)
+		if err != nil {
+			continue // kernels outside the lowerable subset prove nothing here
+		}
+		checkBlock(k.Name, lw.Body)
+		checkBlock(k.Name, lw.Pre)
 	}
 }

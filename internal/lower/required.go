@@ -1,0 +1,28 @@
+package lower
+
+import "perfpredict/internal/ir"
+
+// RequiredOps returns every basic operation the translation module can
+// emit — the contract a machine description's atomic-operation table
+// must cover for lowering never to hit an unmapped op. It is the
+// retargeting checklist of the paper's §2.2 ("defining the atomic
+// operation mapping and the atomic operation cost table"): a new spec
+// that maps these ops prices every F-lite program.
+//
+// The list mirrors the emit sites in expr.go, lower.go, and passes.go.
+// ir.OpJump is the one opcode lowering never produces (loop back-edges
+// are modeled by the OpBranch in LoopOverhead); machine validation
+// still demands it so the reference pipeline and interpreter can
+// execute arbitrary control flow.
+func RequiredOps() []ir.Op {
+	return []ir.Op{
+		ir.OpIAdd, ir.OpISub, ir.OpIMul, ir.OpIMulSmall, ir.OpIDiv,
+		ir.OpIMod, ir.OpINeg, ir.OpIAbs,
+		ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFMA, ir.OpFMS,
+		ir.OpFNeg, ir.OpFAbs, ir.OpFSqrt, ir.OpFMin, ir.OpFMax,
+		ir.OpItoF, ir.OpFtoI,
+		ir.OpILoad, ir.OpIStore, ir.OpFLoad, ir.OpFStore, ir.OpAddr,
+		ir.OpICmp, ir.OpFCmp, ir.OpBranch, ir.OpCall,
+		ir.OpLoadImm,
+	}
+}

@@ -1,0 +1,87 @@
+package machine
+
+import (
+	"embed"
+	"fmt"
+	"io/fs"
+)
+
+// The builtin targets ship as data, not code: each is a spec file
+// embedded into the binary and registered at init. The seed hand-coded
+// constructors (Reference* in power1.go) are retained as oracles; the
+// differential tests prove the loaded tables identical to them.
+//
+//go:embed specs/*.json
+var builtinSpecs embed.FS
+
+func init() {
+	if err := RegisterEmbedded(Default); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterEmbedded loads every embedded builtin spec into r. It is
+// exported so tests and fresh registries can mirror the default
+// catalog.
+func RegisterEmbedded(r *Registry) error {
+	entries, err := fs.ReadDir(builtinSpecs, "specs")
+	if err != nil {
+		return fmt.Errorf("machine builtins: %w", err)
+	}
+	for _, e := range entries {
+		data, err := fs.ReadFile(builtinSpecs, "specs/"+e.Name())
+		if err != nil {
+			return fmt.Errorf("machine builtins: %s: %w", e.Name(), err)
+		}
+		s, err := ParseSpec(data)
+		if err != nil {
+			return fmt.Errorf("machine builtins: %s: %w", e.Name(), err)
+		}
+		if err := r.Register(s); err != nil {
+			return fmt.Errorf("machine builtins: %s: %w", e.Name(), err)
+		}
+	}
+	return nil
+}
+
+// EmbeddedSpecs returns the raw embedded builtin spec files, keyed by
+// file name — the artifacts CI's spec-validation step checks.
+func EmbeddedSpecs() (map[string][]byte, error) {
+	entries, err := fs.ReadDir(builtinSpecs, "specs")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		data, err := fs.ReadFile(builtinSpecs, "specs/"+e.Name())
+		if err != nil {
+			return nil, err
+		}
+		out[e.Name()] = data
+	}
+	return out, nil
+}
+
+// mustLookup resolves a builtin by name; the embedded specs make
+// failure a build artifact bug, not a runtime condition.
+func mustLookup(name string) *Machine {
+	m, err := Lookup(name)
+	if err != nil {
+		panic(fmt.Sprintf("machine: builtin %s: %v", name, err))
+	}
+	return m
+}
+
+// NewPOWER1 returns the IBM RS/6000 POWER target, loaded from its
+// embedded spec (specs/power1.json). See ReferencePOWER1 for the cost
+// rationale; the differential tests keep the two identical.
+func NewPOWER1() *Machine { return mustLookup("POWER1") }
+
+// NewSuperScalar2 returns the wider hypothetical superscalar (two
+// fixed-point and two floating-point pipes), loaded from its embedded
+// spec.
+func NewSuperScalar2() *Machine { return mustLookup("SuperScalar2") }
+
+// NewScalar1 returns the conventional single-issue baseline machine,
+// loaded from its embedded spec.
+func NewScalar1() *Machine { return mustLookup("Scalar1") }

@@ -196,16 +196,31 @@ func (m *Machine) Validate() error {
 		if !ok {
 			return fmt.Errorf("machine %s: missing mapping for %s", m.Name, op)
 		}
+		if len(seq) == 0 {
+			return fmt.Errorf("machine %s: %s maps to no atomic operations", m.Name, op)
+		}
 		for _, a := range seq {
 			if len(a.Segments) == 0 {
-				return fmt.Errorf("machine %s: %s/%s has no segments", m.Name, op, a.Name)
+				return fmt.Errorf("machine %s: %s/%s occupies no units", m.Name, op, a.Name)
 			}
-			for _, s := range a.Segments {
+			for i, s := range a.Segments {
 				if _, ok := m.UnitCounts[s.Unit]; !ok {
 					return fmt.Errorf("machine %s: %s references unknown unit %s", m.Name, op, s.Unit)
 				}
-				if s.Start < 0 || s.Noncov < 0 || s.Cov < 0 || s.Noncov+s.Cov == 0 {
+				if s.Start < 0 {
+					return fmt.Errorf("machine %s: %s has negative start in segment %+v", m.Name, op, s)
+				}
+				if s.Noncov < 0 || s.Cov < 0 || s.Noncov+s.Cov == 0 {
 					return fmt.Errorf("machine %s: %s has bad segment %+v", m.Name, op, s)
+				}
+				// Exclusive-busy intervals of one atomic op must not
+				// overlap on a unit: the op cannot occupy the same pipe
+				// twice in the same cycle.
+				for _, prev := range a.Segments[:i] {
+					if prev.Unit == s.Unit &&
+						s.Start < prev.Start+prev.Noncov && prev.Start < s.Start+s.Noncov {
+						return fmt.Errorf("machine %s: %s/%s has overlapping segments on %s", m.Name, op, a.Name, s.Unit)
+					}
 				}
 			}
 		}

@@ -7,7 +7,13 @@ func single(name string, unit UnitKind, noncov, cov int) []AtomicOp {
 	return []AtomicOp{{Name: name, Segments: []Segment{{Unit: unit, Noncov: noncov, Cov: cov}}}}
 }
 
-// NewPOWER1 models the IBM RS/6000 POWER architecture of the paper's
+// ReferencePOWER1 is the seed hand-coded constructor for the IBM
+// RS/6000 POWER target, kept as the differential oracle the embedded
+// spec file (specs/power1.json) is proven byte-identical against. New
+// code should obtain targets via NewPOWER1 (spec-loaded) or the
+// registry.
+//
+// It models the IBM RS/6000 POWER architecture of the paper's
 // examples: one fixed-point unit (which executes integer ops, loads,
 // stores and address generation), one floating-point unit with a fused
 // multiply-add pipeline, one branch unit and one condition-register
@@ -22,7 +28,7 @@ func single(name string, unit UnitKind, noncov, cov int) []AtomicOp {
 //
 // Remaining latencies follow the published POWER1 pipeline (2-cycle
 // loads, ~19-cycle divides, non-pipelined).
-func NewPOWER1() *Machine {
+func ReferencePOWER1() *Machine {
 	m := &Machine{
 		Name:          "POWER1",
 		UnitCounts:    map[UnitKind]int{FXU: 1, FPU: 1, BRU: 1, CRU: 1},
@@ -102,24 +108,24 @@ func NewPOWER1() *Machine {
 	return m
 }
 
-// NewSuperScalar2 is a wider hypothetical superscalar: two fixed-point
+// ReferenceSuperScalar2 is the seed hand-coded wider hypothetical superscalar: two fixed-point
 // pipes, two floating-point pipes, shared branch/CR units, dispatch
 // width 6, same per-op latencies as POWER1. It exercises the
 // multiple-pipes ("more bins") case of the cost model.
-func NewSuperScalar2() *Machine {
-	m := NewPOWER1()
+func ReferenceSuperScalar2() *Machine {
+	m := ReferencePOWER1()
 	m.Name = "SuperScalar2"
 	m.UnitCounts = map[UnitKind]int{FXU: 2, FPU: 2, BRU: 1, CRU: 1}
 	m.DispatchWidth = 6
 	return m
 }
 
-// NewScalar1 is the conventional sequential machine: a single unit, no
+// ReferenceScalar1 is the seed hand-coded conventional sequential machine: a single unit, no
 // overlap, every operation fully noncoverable at its POWER1 latency.
 // It doubles as the "operation-count based cost model" baseline: on
 // this machine the Tetris model degenerates to summing latencies.
-func NewScalar1() *Machine {
-	p := NewPOWER1()
+func ReferenceScalar1() *Machine {
+	p := ReferencePOWER1()
 	m := &Machine{
 		Name:          "Scalar1",
 		UnitCounts:    map[UnitKind]int{UNI: 1},

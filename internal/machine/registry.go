@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a thread-safe catalog of machine specs, looked up by
+// case-insensitive name. It stores validated *descriptions*, not
+// Machine values: every Lookup builds a fresh Machine, so callers may
+// mutate their copy (the SuperScalar2-from-POWER1 pattern) without
+// corrupting the catalog or each other.
+type Registry struct {
+	mu    sync.RWMutex
+	specs map[string]*Spec // key: strings.ToLower(spec.Name)
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{specs: map[string]*Spec{}}
+}
+
+// Register validates the spec and adds it to the catalog. Registering
+// a second spec under an already-taken name (case-insensitively) is an
+// error: name collisions are configuration bugs, and silently
+// replacing a target is exactly the aliasing hazard content
+// fingerprints exist to prevent.
+func (r *Registry) Register(s *Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	key := strings.ToLower(s.Name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.specs[key]; dup {
+		return fmt.Errorf("machine registry: %q already registered", s.Name)
+	}
+	r.specs[key] = s
+	return nil
+}
+
+// Lookup builds a fresh Machine from the spec registered under name
+// (case-insensitive). An unknown name errors with the list of valid
+// names.
+func (r *Registry) Lookup(name string) (*Machine, error) {
+	r.mu.RLock()
+	s, ok := r.specs[strings.ToLower(name)]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("machine registry: unknown machine %q (registered: %s)",
+			name, strings.Join(r.Names(), ", "))
+	}
+	return s.Machine()
+}
+
+// Spec returns the registered description itself (shared, not a copy —
+// treat it as immutable) and whether the name is registered.
+func (r *Registry) Spec(name string) (*Spec, bool) {
+	r.mu.RLock()
+	s, ok := r.specs[strings.ToLower(name)]
+	r.mu.RUnlock()
+	return s, ok
+}
+
+// Names lists the registered machine names (as spelled in their
+// specs), sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.specs))
+	for _, s := range r.specs {
+		out = append(out, s.Name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Default is the process-wide registry. The embedded builtin specs
+// register here at init (builtins.go); applications add custom targets
+// via Register.
+var Default = NewRegistry()
+
+// Register adds a spec to the default registry.
+func Register(s *Spec) error { return Default.Register(s) }
+
+// Lookup builds a Machine from the default registry.
+func Lookup(name string) (*Machine, error) { return Default.Lookup(name) }
+
+// Names lists the default registry's machine names.
+func Names() []string { return Default.Names() }

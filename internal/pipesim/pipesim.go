@@ -25,6 +25,7 @@ import (
 
 	"perfpredict/internal/ir"
 	"perfpredict/internal/machine"
+	"perfpredict/internal/source"
 )
 
 // Result reports one simulated block execution.
@@ -69,6 +70,7 @@ func Run(m *machine.Machine, b *ir.Block) (Result, error) {
 // the interpreter) and read the final cycle count.
 type Pipeline struct {
 	m      *machine.Machine
+	machFP source.Fingerprint
 	units  []machine.UnitInstance
 	byKind map[machine.UnitKind][]int
 	// freeAt[pipe] is the first cycle the pipe is idle.
@@ -107,18 +109,23 @@ func NewPipeline(m *machine.Machine) *Pipeline {
 }
 
 // Reset clears the pipeline for a fresh run on m, reusing scoreboards
-// and unit tables (rebuilt only when the machine changes).
+// and unit tables (rebuilt only when the machine *content* changes —
+// pooled pipelines handed a fresh pointer to an identical description
+// keep their derived tables, including the per-opcode kind cache).
 func (p *Pipeline) Reset(m *machine.Machine) {
 	if p.m != m || p.units == nil {
-		p.m = m
-		p.units = m.Units()
-		p.byKind = make(map[machine.UnitKind][]int, 4)
-		for i, u := range p.units {
-			p.byKind[u.Kind] = append(p.byKind[u.Kind], i)
+		fp := m.Fingerprint()
+		if p.units == nil || fp != p.machFP {
+			p.units = m.Units()
+			p.byKind = make(map[machine.UnitKind][]int, 4)
+			for i, u := range p.units {
+				p.byKind[u.Kind] = append(p.byKind[u.Kind], i)
+			}
+			p.freeAt = make([]int64, len(p.units))
+			p.used = make([]bool, len(p.units))
+			p.kindCache = map[ir.Op][]machine.UnitKind{}
 		}
-		p.freeAt = make([]int64, len(p.units))
-		p.used = make([]bool, len(p.units))
-		p.kindCache = map[ir.Op][]machine.UnitKind{}
+		p.m, p.machFP = m, fp
 	}
 	for i := range p.freeAt {
 		p.freeAt[i] = 0

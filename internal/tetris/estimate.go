@@ -6,6 +6,7 @@ import (
 
 	"perfpredict/internal/ir"
 	"perfpredict/internal/machine"
+	"perfpredict/internal/source"
 )
 
 // Options tune the estimator; the zero value gives the paper's default
@@ -44,10 +45,14 @@ type Result struct {
 // estScratch is the per-call working state of Estimate, recycled
 // through a sync.Pool so the hot path allocates only what escapes into
 // the Result. The machine-derived unit tables are cached by machine
-// identity: repeated estimations for the same target (the normal case)
-// skip rebuilding them.
+// *content*: the pointer comparison is only the fast path, and when it
+// misses the content fingerprint decides — so pooled scratch survives
+// across distinct-but-identical Machine values (each registry Lookup
+// builds a fresh one), while a same-pointer machine whose table was
+// edited in place would still be caught had it a different address.
 type estScratch struct {
 	mach   *machine.Machine
+	machFP source.Fingerprint
 	inst   []machine.UnitInstance
 	byKind map[machine.UnitKind][]int
 	place  []int
@@ -136,19 +141,23 @@ func resetInts(s []int, n int) []int {
 }
 
 // prepare resets the scratch's bins for one estimation, rebuilding the
-// machine-derived tables only when the target changed.
+// machine-derived tables only when the target *content* changed (a new
+// pointer to an identical description reuses them).
 func (sc *estScratch) prepare(m *machine.Machine, opt Options) *bins {
 	if sc.mach != m || len(sc.inst) == 0 {
-		sc.mach = m
-		sc.inst = m.Units()
-		sc.byKind = make(map[machine.UnitKind][]int, 4)
-		for i, u := range sc.inst {
-			sc.byKind[u.Kind] = append(sc.byKind[u.Kind], i)
+		fp := m.Fingerprint()
+		if len(sc.inst) == 0 || fp != sc.machFP {
+			sc.inst = m.Units()
+			sc.byKind = make(map[machine.UnitKind][]int, 4)
+			for i, u := range sc.inst {
+				sc.byKind[u.Kind] = append(sc.byKind[u.Kind], i)
+			}
+			sc.b.slots = make([]slotList, len(sc.inst))
+			sc.b.latEnd = make([]int, len(sc.inst))
+			sc.b.used = make([]bool, len(sc.inst))
+			sc.b.chosen = sc.b.chosen[:0]
 		}
-		sc.b.slots = make([]slotList, len(sc.inst))
-		sc.b.latEnd = make([]int, len(sc.inst))
-		sc.b.used = make([]bool, len(sc.inst))
-		sc.b.chosen = sc.b.chosen[:0]
+		sc.mach, sc.machFP = m, fp
 	}
 	b := &sc.b
 	b.m, b.opt = m, opt

@@ -22,6 +22,11 @@ go vet ./...
 echo "== go build"
 go build ./...
 
+echo "== machine specs"
+# Every embedded builtin spec plus every spec file shipped in the tree
+# must parse, validate, cover the lowering op set, and round-trip.
+go run ./cmd/speccheck examples/custom-machine/power2f.json
+
 echo "== go test -race"
 go test -race ./...
 
