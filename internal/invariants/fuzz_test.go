@@ -1,0 +1,76 @@
+package invariants
+
+import (
+	"testing"
+
+	"perfpredict/internal/ir"
+	"perfpredict/internal/machine"
+	"perfpredict/internal/progen"
+	"perfpredict/internal/tetris"
+)
+
+// FuzzBlockInvariants drives the whole block suite from a fuzzed
+// seed: the seed picks the machine, the block, and the metamorphic
+// twins, so the native fuzzer explores generator space while every
+// failure stays reproducible from the seed alone.
+func FuzzBlockInvariants(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		vs, _ := CheckBlock(seed, Config{NodeBudget: 1 << 15})
+		for _, v := range vs {
+			t.Errorf("%s", v)
+		}
+		for _, v := range CheckSpec(seed) {
+			t.Errorf("%s", v)
+		}
+	})
+}
+
+// FuzzSpecJSON feeds raw bytes to the spec loader: anything that
+// parses and validates must build a machine, price a block without
+// error, and round-trip through the canonical encoding.
+func FuzzSpecJSON(f *testing.F) {
+	f.Add([]byte(`{"name":"x"}`))
+	f.Add([]byte(`not json`))
+	for seed := int64(0); seed < 4; seed++ {
+		s := progen.GenSpec(progen.NewRand(seed), progen.SpecConfig{})
+		if data, err := s.Encode(); err == nil {
+			f.Add(data)
+		}
+	}
+	probe := &ir.Block{Label: "probe"}
+	probe.Append(ir.Instr{Op: ir.OpLoadImm, Dst: 0, Imm: 1})
+	probe.Append(ir.Instr{Op: ir.OpFLoad, Dst: 1, Addr: "a(i)", Base: "a"})
+	probe.Append(ir.NewInstr(ir.OpFAdd, 2, 1, 1))
+	probe.Append(ir.Instr{Op: ir.OpFStore, Dst: ir.NoReg, Srcs: []ir.Reg{2}, Addr: "a(i)", Base: "a"})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := machine.ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			return
+		}
+		m, err := s.Machine()
+		if err != nil {
+			t.Fatalf("validated spec failed to build: %v", err)
+		}
+		if _, err := tetris.Estimate(m, probe, tetris.Options{}); err != nil {
+			t.Fatalf("validated machine failed to price a block: %v", err)
+		}
+		enc1, err := s.Encode()
+		if err != nil {
+			t.Fatalf("validated spec failed to encode: %v", err)
+		}
+		back, err := machine.ParseSpec(enc1)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v", err)
+		}
+		enc2, err := back.Encode()
+		if err != nil || string(enc1) != string(enc2) {
+			t.Fatalf("Encode∘ParseSpec is not the identity (err %v)", err)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package invariants
+
+import (
+	"testing"
+)
+
+// The gating corpus: a fixed-seed run of the full suite must be
+// violation-free. cmd/fuzzcheck runs the same seeds in CI; this copy
+// keeps `go test ./...` self-contained.
+func TestFixedCorpusClean(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 15
+	}
+	s := Run(n, 1, Config{})
+	for _, v := range s.Violations {
+		t.Errorf("%s", v)
+	}
+	if s.Proven == 0 {
+		t.Error("oracle proved no sample optimal; budget or caps are wrong")
+	}
+}
+
+// The approximation-quality bound of the differential suite: on every
+// oracle-proven sample, tetris.Estimate stays within a pinned factor
+// of the true optimum.
+func TestApproxWithinPinnedRatio(t *testing.T) {
+	n := 300
+	if testing.Short() {
+		n = 40
+	}
+	var stats BlockStats
+	for i := 0; i < n; i++ {
+		_, st := CheckBlock(int64(i), Config{})
+		stats.merge(st)
+	}
+	if stats.MaxRatio > MaxApproxExactRatio {
+		t.Errorf("approx/exact ratio %.3f exceeds the pinned bound %.2f", stats.MaxRatio, MaxApproxExactRatio)
+	}
+	if stats.MaxRatio < 1 {
+		t.Errorf("max ratio %.3f < 1: no sample measured, or the oracle beat itself", stats.MaxRatio)
+	}
+}
+
+// Per-kind spot checks so a broken invariant fails with a focused
+// test name, not just through the corpus driver.
+func TestCheckSpecSeeds(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		for _, v := range CheckSpec(seed) {
+			t.Errorf("%s", v)
+		}
+	}
+}
+
+func TestCheckProgramSeeds(t *testing.T) {
+	n := int64(8)
+	if testing.Short() {
+		n = 2
+	}
+	for seed := int64(0); seed < n; seed++ {
+		for _, v := range CheckProgram(seed) {
+			t.Errorf("%s", v)
+		}
+	}
+}

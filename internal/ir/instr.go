@@ -154,7 +154,14 @@ func (b *Block) Deps(mayAlias bool) [][]int {
 			if in.Op.IsLoad() {
 				if w, ok := sc.lastWrite[addr]; ok {
 					sc.add(i, w) // RAW same address
-				} else if mayAlias {
+				}
+				// Under conservative aliasing the last write to the
+				// base may target this location through a different
+				// subscript, even when the exact address also has a
+				// writer: both dependences are real, and dropping the
+				// base one lets a possibly-aliasing store reorder
+				// around the load (found by the topo-perm invariant).
+				if mayAlias {
 					if w, ok := sc.lastBaseWrite[base]; ok {
 						sc.add(i, w)
 					}

@@ -1,6 +1,7 @@
 package ir
 
 import (
+	"sort"
 	"strings"
 	"testing"
 )
@@ -182,5 +183,58 @@ func TestParseOp(t *testing.T) {
 	}
 	if _, ok := ParseOp(""); ok {
 		t.Error("ParseOp accepted the empty string")
+	}
+}
+
+// Regression: under conservative aliasing, a load must depend on the
+// last write to its *base* even when its exact address also has an
+// earlier writer. The old rule took the exact-address RAW dep and
+// skipped the base check, so the intervening possibly-aliasing store
+// could reorder around the load — which made the dependence relation
+// differ between equivalent presentations of the same block (found by
+// the oracle's topological-permutation invariant, fuzz seed -50).
+func TestDepsMayAliasStoreBetweenWriteAndLoad(t *testing.T) {
+	b := &Block{}
+	b.Append(Instr{Op: OpFStore, Srcs: []Reg{0}, Addr: "c(j,i)", Base: "c"})
+	b.Append(Instr{Op: OpIStore, Srcs: []Reg{1}, Addr: "c(i)", Base: "c"})
+	b.Append(Instr{Op: OpFLoad, Dst: 2, Addr: "c(j,i)", Base: "c"})
+
+	// Exact mode: only the same-address RAW dep.
+	if deps := b.Deps(false); len(deps[2]) != 1 || deps[2][0] != 0 {
+		t.Errorf("exact-mode load deps = %v, want [0]", deps[2])
+	}
+	// Conservative mode: the store to c(i) may alias c(j,i), so the
+	// load depends on both writes.
+	deps := b.Deps(true)
+	got := append([]int(nil), deps[2]...)
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("mayAlias load deps = %v, want [0 1]", deps[2])
+	}
+}
+
+// ParseOp must reject everything that is not a mnemonic exactly as
+// Op.String spells it: the mnemonics are machine-description keys, so
+// near-misses are description bugs to surface, not input to repair.
+func TestParseOpRejectsTable(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"unknown mnemonic", "warp"},
+		{"empty string", ""},
+		{"the invalid sentinel", "invalid"},
+		{"wrong case", "FADD"},
+		{"leading space", " fadd"},
+		{"trailing space", "fadd "},
+		{"prefix of a mnemonic", "fad"},
+		{"mnemonic plus suffix", "fadd2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if op, ok := ParseOp(tc.in); ok {
+				t.Errorf("ParseOp(%q) = %v, true; want rejection", tc.in, op)
+			}
+		})
 	}
 }

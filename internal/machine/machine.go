@@ -203,6 +203,7 @@ func (m *Machine) Validate() error {
 			if len(a.Segments) == 0 {
 				return fmt.Errorf("machine %s: %s/%s occupies no units", m.Name, op, a.Name)
 			}
+			perKind := map[UnitKind]int{}
 			for i, s := range a.Segments {
 				if _, ok := m.UnitCounts[s.Unit]; !ok {
 					return fmt.Errorf("machine %s: %s references unknown unit %s", m.Name, op, s.Unit)
@@ -221,6 +222,14 @@ func (m *Machine) Validate() error {
 						s.Start < prev.Start+prev.Noncov && prev.Start < s.Start+s.Noncov {
 						return fmt.Errorf("machine %s: %s/%s has overlapping segments on %s", m.Name, op, a.Name, s.Unit)
 					}
+				}
+				// Each segment of one atomic operation occupies its own
+				// pipe; demanding more pipes of a kind than exist makes
+				// the operation unplaceable.
+				perKind[s.Unit]++
+				if perKind[s.Unit] > m.UnitCounts[s.Unit] {
+					return fmt.Errorf("machine %s: %s/%s needs %d pipes of %s, machine has %d",
+						m.Name, op, a.Name, perKind[s.Unit], s.Unit, m.UnitCounts[s.Unit])
 				}
 			}
 		}

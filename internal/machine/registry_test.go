@@ -99,3 +99,36 @@ func TestDefaultRegistryHasBuiltins(t *testing.T) {
 		}
 	}
 }
+
+// Lookup resolves names case-insensitively but does no other repair:
+// whitespace, empty names, and near-misses all fail, and every
+// failure names the registered alternatives so the caller's error is
+// actionable.
+func TestRegistryLookupErrorTable(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(SpecOf(ReferencePOWER1())); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty name", ""},
+		{"unknown name", "POWER9"},
+		{"leading space", " POWER1"},
+		{"trailing space", "POWER1 "},
+		{"interior punctuation", "POWER-1"},
+		{"prefix of a name", "POWER"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := r.Lookup(tc.in)
+			if err == nil {
+				t.Fatalf("Lookup(%q) succeeded; want error", tc.in)
+			}
+			if !strings.Contains(err.Error(), "POWER1") {
+				t.Errorf("Lookup(%q) error %q does not list the registered names", tc.in, err)
+			}
+		})
+	}
+}

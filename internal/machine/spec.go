@@ -136,6 +136,7 @@ func (s *Spec) Validate() error {
 			if len(a.Segments) == 0 {
 				return fmt.Errorf("machine spec %s: %s/%s occupies no units", s.Name, op, a.Name)
 			}
+			perKind := map[string]int{}
 			for i, seg := range a.Segments {
 				if _, ok := s.Units[seg.Unit]; !ok {
 					return fmt.Errorf("machine spec %s: %s/%s references unknown unit %q", s.Name, op, a.Name, seg.Unit)
@@ -156,6 +157,14 @@ func (s *Spec) Validate() error {
 					if seg.Start < prev.Start+prev.Noncov && prev.Start < seg.Start+seg.Noncov {
 						return fmt.Errorf("machine spec %s: %s/%s has overlapping segments on %s", s.Name, op, a.Name, seg.Unit)
 					}
+				}
+				// Each segment of one atomic operation occupies its own
+				// pipe, so an expansion demanding more pipes of a kind
+				// than the machine has could never be placed.
+				perKind[seg.Unit]++
+				if perKind[seg.Unit] > s.Units[seg.Unit] {
+					return fmt.Errorf("machine spec %s: %s/%s needs %d pipes of %s, machine has %d",
+						s.Name, op, a.Name, perKind[seg.Unit], seg.Unit, s.Units[seg.Unit])
 				}
 			}
 		}

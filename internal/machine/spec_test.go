@@ -172,16 +172,30 @@ func TestSpecValidateErrors(t *testing.T) {
 	}
 }
 
-// Non-overlapping same-unit segments (e.g. an op that revisits a pipe
-// after a gap) must stay legal.
-func TestSpecValidateAllowsDisjointSameUnitSegments(t *testing.T) {
+// Each segment of one atomic operation occupies its own pipe (the
+// Tetris placer never assigns two segments of the same op to one
+// pipe, even when their busy intervals are disjoint), so same-kind
+// segments are legal exactly when the machine has enough pipes of
+// that kind. Fuzzing found the old rule — which accepted disjoint
+// same-unit segments unconditionally — let through specs the placer
+// could never place, sending Estimate into its full scan budget
+// before erroring.
+func TestSpecValidateSameUnitSegmentsNeedDistinctPipes(t *testing.T) {
 	s := validSpec()
 	s.Ops["fadd"][0].Segments = []SegmentSpec{
 		{Unit: "FPU", Start: 0, Noncov: 1},
 		{Unit: "FPU", Start: 2, Noncov: 1, Cov: 1},
 	}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("two FPU segments accepted on a 1-FPU machine")
+	}
+	if !strings.Contains(err.Error(), "needs 2 pipes of FPU") {
+		t.Errorf("error %q does not mention the pipe budget", err)
+	}
+	s.Units["FPU"] = 2
 	if err := s.Validate(); err != nil {
-		t.Errorf("disjoint same-unit segments rejected: %v", err)
+		t.Errorf("disjoint same-unit segments rejected with enough pipes: %v", err)
 	}
 }
 

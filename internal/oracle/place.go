@@ -1,0 +1,256 @@
+package oracle
+
+import (
+	"perfpredict/internal/machine"
+)
+
+// grid is one pipe's occupancy as a dense bitset over time slots,
+// grown on demand. It is the oracle's deliberately simple counterpart
+// to the tetris run-length slot lists.
+type grid struct {
+	words []uint64
+}
+
+func (g *grid) bit(i int) bool {
+	w := i >> 6
+	if w >= len(g.words) {
+		return false
+	}
+	return g.words[w]&(1<<(uint(i)&63)) != 0
+}
+
+// freeRange reports whether slots [from, from+n) are all empty.
+func (g *grid) freeRange(from, n int) bool {
+	for i := from; i < from+n; i++ {
+		if g.bit(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// occupyRange marks slots [from, from+n) filled.
+func (g *grid) occupyRange(from, n int) {
+	if n <= 0 {
+		return
+	}
+	for w := (from + n - 1) >> 6; w >= len(g.words); {
+		g.words = append(g.words, 0)
+	}
+	for i := from; i < from+n; i++ {
+		g.words[i>>6] |= 1 << (uint(i) & 63)
+	}
+}
+
+// clearRange empties slots [from, from+n) (undo of occupyRange).
+func (g *grid) clearRange(from, n int) {
+	for i := from; i < from+n; i++ {
+		g.words[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// extent returns the first and last filled slots, or (-1, -1).
+func (g *grid) extent() (first, last int) {
+	first, last = -1, -1
+	for w, word := range g.words {
+		if word == 0 {
+			continue
+		}
+		for b := 0; b < 64; b++ {
+			if word&(1<<uint(b)) != 0 {
+				i := w<<6 + b
+				if first == -1 {
+					first = i
+				}
+				last = i
+			}
+		}
+	}
+	return first, last
+}
+
+// countFilledBelow counts filled slots in [0, upto).
+func (g *grid) countFilledBelow(upto int) int {
+	total := 0
+	for w, word := range g.words {
+		if word == 0 {
+			continue
+		}
+		for b := 0; b < 64; b++ {
+			if word&(1<<uint(b)) != 0 && w<<6+b < upto {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// frame records everything placeInstr changed, for exact undo.
+type frame struct {
+	instr    int
+	occs     []occRec // occupied ranges
+	lats     []latRec // latEnd overwrites
+	dispatch []int    // cycles whose dispatch count was incremented
+	minOcc   int
+	curEnd   int
+}
+
+type occRec struct{ pipe, from, n int }
+type latRec struct{ pipe, old int }
+
+// placeInstr schedules instruction i by the same rule tetris.Estimate
+// uses — each atomic op of its expansion at the lowest time slot where
+// every segment fits on a distinct pipe of its kind and the dispatch
+// width is not exhausted — and returns the undo frame.
+func (p *packer) placeInstr(i int) frame {
+	f := frame{instr: i, minOcc: p.minOcc, curEnd: p.curEnd}
+	in := p.instrs[i]
+	ready, dataReady := 0, 0
+	for _, j := range p.deps[i] {
+		if p.instrs[j].Op.IsMem() {
+			if p.finish[j] > ready {
+				ready = p.finish[j]
+			}
+		} else if p.finish[j] > dataReady {
+			dataReady = p.finish[j]
+		}
+	}
+	if !in.Op.IsStore() && dataReady > ready {
+		ready = dataReady
+	}
+	cur := ready
+	start := -1
+	for _, a := range p.seqs[i] {
+		t := p.placeOne(a, cur, &f)
+		if start == -1 {
+			start = t
+		}
+		cur = t + a.Latency()
+	}
+	if start == -1 { // empty expansion: zero-latency at ready
+		start = ready
+		cur = ready
+	}
+	end := cur
+	if in.Op.IsStore() && dataReady+1 > end {
+		// Pending-store queue: the memory effect completes once the
+		// datum arrives, even though the unit slots executed earlier.
+		end = dataReady + 1
+	}
+	p.issue[i] = start
+	p.finish[i] = end
+	if end > p.curEnd {
+		p.curEnd = end
+	}
+	p.scheduled[i] = true
+	p.nSched++
+	p.order = append(p.order, i)
+	return f
+}
+
+// placeOne scans t upward from ready for the lowest slot where a fits
+// — the "lowest feasible position" semantics, implemented as a plain
+// linear scan with no skip heuristics.
+func (p *packer) placeOne(a machine.AtomicOp, ready int, f *frame) int {
+	t := ready
+	if t < 0 {
+		t = 0
+	}
+	for ; ; t++ {
+		if p.width > 0 && p.dispatchAt(t) >= p.width {
+			continue
+		}
+		if !p.fitsAt(a, t) {
+			continue
+		}
+		// Commit: p.chosen holds the pipe choice fitsAt made.
+		for si, seg := range a.Segments {
+			pipe := p.chosen[si]
+			if seg.Noncov > 0 {
+				p.occ[pipe].occupyRange(t+seg.Start, seg.Noncov)
+				f.occs = append(f.occs, occRec{pipe, t + seg.Start, seg.Noncov})
+				if t+seg.Start < p.minOcc {
+					p.minOcc = t + seg.Start
+				}
+			}
+			if e := t + seg.End(); e > p.latEnd[pipe] {
+				f.lats = append(f.lats, latRec{pipe, p.latEnd[pipe]})
+				p.latEnd[pipe] = e
+				if e > p.curEnd {
+					p.curEnd = e
+				}
+			}
+		}
+		p.incDispatch(t)
+		f.dispatch = append(f.dispatch, t)
+		return t
+	}
+}
+
+// fitsAt checks whether every segment of a fits at base time t,
+// assigning each to the first free, not-yet-used pipe of its kind (the
+// same greedy pipe choice tetris.tryFit makes). On success the chosen
+// pipes are left in p.chosen.
+func (p *packer) fitsAt(a machine.AtomicOp, t int) bool {
+	for i := range p.used {
+		p.used[i] = false
+	}
+	if cap(p.chosen) < len(a.Segments) {
+		p.chosen = make([]int, len(a.Segments))
+	}
+	p.chosen = p.chosen[:len(a.Segments)]
+	for si, seg := range a.Segments {
+		found := -1
+		for _, pipe := range p.byKind[seg.Unit] {
+			if p.used[pipe] {
+				continue
+			}
+			if seg.Noncov == 0 || p.occ[pipe].freeRange(t+seg.Start, seg.Noncov) {
+				found = pipe
+				break
+			}
+		}
+		if found == -1 {
+			return false
+		}
+		p.used[found] = true
+		p.chosen[si] = found
+	}
+	return true
+}
+
+func (p *packer) dispatchAt(t int) int {
+	if t < len(p.dispatch) {
+		return p.dispatch[t]
+	}
+	return 0
+}
+
+func (p *packer) incDispatch(t int) {
+	for len(p.dispatch) <= t {
+		p.dispatch = append(p.dispatch, 0)
+	}
+	p.dispatch[t]++
+}
+
+// undo reverts placeInstr exactly.
+func (p *packer) undo(f frame) {
+	for _, o := range f.occs {
+		p.occ[o.pipe].clearRange(o.from, o.n)
+	}
+	// latEnd overwrites are recorded oldest-first per pipe; restoring
+	// in reverse order reinstates the original value.
+	for i := len(f.lats) - 1; i >= 0; i-- {
+		p.latEnd[f.lats[i].pipe] = f.lats[i].old
+	}
+	for _, t := range f.dispatch {
+		p.dispatch[t]--
+	}
+	p.minOcc = f.minOcc
+	p.curEnd = f.curEnd
+	p.scheduled[f.instr] = false
+	p.nSched--
+	p.order = p.order[:len(p.order)-1]
+	p.issue[f.instr] = 0
+	p.finish[f.instr] = 0
+}

@@ -1,0 +1,185 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// ProgramConfig bounds the generated F-lite loop nests.
+type ProgramConfig struct {
+	// MaxDepth bounds the nesting depth (default 3, max 3).
+	MaxDepth int
+	// MaxStmts bounds the statements per loop body (default 4).
+	MaxStmts int
+	// AllowIf permits a loop-index conditional in the innermost body.
+	AllowIf bool
+	// AllowSubroutine permits the `subroutine name(n)` flavor with a
+	// symbolic trip count; otherwise a `program` with a parameter-bound
+	// trip count is produced.
+	AllowSubroutine bool
+}
+
+func (c *ProgramConfig) defaults() {
+	if c.MaxDepth <= 0 || c.MaxDepth > 3 {
+		c.MaxDepth = 3
+	}
+	if c.MaxStmts <= 0 {
+		c.MaxStmts = 4
+	}
+}
+
+// loopVars in nesting order; arrays are dimensioned dim so that the
+// off-by-one subscript v+1 stays in bounds for trip counts up to
+// dim-1.
+var loopVars = []string{"i", "j", "k"}
+
+const (
+	arrayDim = 65 // bound n = 64, so v+1 <= 65
+	tripN    = 64
+)
+
+// progGen carries the state of one program generation.
+type progGen struct {
+	r       *rand.Rand
+	depth   int      // nest depth actually used
+	arrays  []string // declared real arrays, all rank == depth
+	scalars []string // declared real scalars, initialized up front
+	sb      strings.Builder
+	indent  int
+}
+
+func (g *progGen) line(format string, a ...any) {
+	g.sb.WriteString(strings.Repeat("  ", g.indent))
+	fmt.Fprintf(&g.sb, format, a...)
+	g.sb.WriteByte('\n')
+}
+
+// subscript returns a full index tuple over the outer `rank` loop
+// variables, occasionally bumping one coordinate by one (stencil
+// flavor) or transposing a 2-D pair.
+func (g *progGen) subscript() string {
+	idx := make([]string, g.depth)
+	for d := 0; d < g.depth; d++ {
+		idx[d] = loopVars[d]
+	}
+	if g.r.Intn(3) == 0 {
+		idx[g.r.Intn(g.depth)] += "+1"
+	} else if g.depth == 2 && g.r.Intn(4) == 0 {
+		idx[0], idx[1] = idx[1], idx[0]
+	}
+	return strings.Join(idx, ",")
+}
+
+// ref returns a readable operand: an array element, a scalar, or a
+// literal constant.
+func (g *progGen) ref() string {
+	switch g.r.Intn(6) {
+	case 0:
+		return pick(g.r, g.scalars)
+	case 1:
+		return pick(g.r, []string{"0.5", "1.0", "2.0", "0.25", "3.0"})
+	default:
+		return fmt.Sprintf("%s(%s)", pick(g.r, g.arrays), g.subscript())
+	}
+}
+
+// expr builds a random arithmetic expression of bounded size.
+func (g *progGen) expr(size int) string {
+	if size <= 1 {
+		if g.r.Intn(6) == 0 {
+			return fmt.Sprintf("%s(%s)", pick(g.r, []string{"sqrt", "abs"}), g.ref())
+		}
+		return g.ref()
+	}
+	left := between(g.r, 1, size-1)
+	op := pick(g.r, []string{"+", "-", "*", "*", "/"})
+	lhs, rhs := g.expr(left), g.expr(size-left)
+	if g.r.Intn(3) == 0 {
+		return fmt.Sprintf("(%s) %s %s", lhs, op, rhs)
+	}
+	return fmt.Sprintf("%s %s %s", lhs, op, rhs)
+}
+
+// assign emits one assignment statement: an array update indexed by
+// the loop variables, or a scalar reduction.
+func (g *progGen) assign() {
+	if g.r.Intn(4) == 0 {
+		s := pick(g.r, g.scalars)
+		g.line("%s = %s + %s", s, s, g.expr(between(g.r, 1, 3)))
+		return
+	}
+	lhs := fmt.Sprintf("%s(%s)", pick(g.r, g.arrays), g.subscript())
+	g.line("%s = %s", lhs, g.expr(between(g.r, 2, 5)))
+}
+
+// GenProgram generates a parseable F-lite loop-nest program. Two
+// flavors: a self-contained `program` with a parameter-bound trip
+// count, and (when cfg.AllowSubroutine) a `subroutine name(n)` whose
+// trip count stays symbolic. All scalars are initialized before use
+// so sem.Analyze accepts the result.
+func GenProgram(r *rand.Rand, cfg ProgramConfig) string {
+	cfg.defaults()
+	g := &progGen{r: r, depth: between(r, 1, cfg.MaxDepth)}
+	nArrays := between(r, 2, 4)
+	for a := 0; a < nArrays; a++ {
+		g.arrays = append(g.arrays, string(rune('u'+a)))
+	}
+	nScalars := between(r, 1, 3)
+	for s := 0; s < nScalars; s++ {
+		g.scalars = append(g.scalars, []string{"s", "t", "alpha"}[s])
+	}
+
+	name := fmt.Sprintf("gen%04d", r.Intn(10000))
+	sub := cfg.AllowSubroutine && r.Intn(3) == 0
+	if sub {
+		g.line("subroutine %s(n)", name)
+	} else {
+		g.line("program %s", name)
+	}
+	g.indent++
+	ivars := strings.Join(loopVars[:g.depth], ", ")
+	g.line("integer %s, n", ivars)
+	if !sub {
+		g.line("parameter (n = %d)", tripN)
+	}
+	dims := strings.TrimSuffix(strings.Repeat(fmt.Sprintf("%d,", arrayDim), g.depth), ",")
+	var decls []string
+	for _, a := range g.arrays {
+		decls = append(decls, fmt.Sprintf("%s(%s)", a, dims))
+	}
+	decls = append(decls, g.scalars...)
+	g.line("real %s", strings.Join(decls, ", "))
+	for _, s := range g.scalars {
+		g.line("%s = %s", s, pick(r, []string{"0.0", "1.5", "2.5", "0.75"}))
+	}
+
+	for d := 0; d < g.depth; d++ {
+		g.line("do %s = 1, n", loopVars[d])
+		g.indent++
+	}
+	nStmts := between(r, 1, cfg.MaxStmts)
+	for s := 0; s < nStmts; s++ {
+		g.assign()
+	}
+	if cfg.AllowIf && r.Intn(3) == 0 {
+		g.line("if (%s .le. %d) then", loopVars[g.depth-1], between(r, 2, tripN-1))
+		g.indent++
+		g.assign()
+		g.indent--
+		if r.Intn(2) == 0 {
+			g.line("else")
+			g.indent++
+			g.assign()
+			g.indent--
+		}
+		g.line("end if")
+	}
+	for d := g.depth - 1; d >= 0; d-- {
+		g.indent--
+		g.line("end do")
+	}
+	g.indent--
+	g.line("end")
+	return g.sb.String()
+}

@@ -30,6 +30,12 @@ go run ./cmd/speccheck examples/custom-machine/power2f.json
 echo "== go test -race"
 go test -race ./...
 
+echo "== differential fuzz corpus"
+# Fixed-seed metamorphic/differential gating corpus: the estimators
+# vs the exact oracle and the harness's equivalence invariants. Any
+# violation (or an approx/exact ratio above the pinned bound) fails.
+go run ./cmd/fuzzcheck -n 300 -seed 1
+
 echo "== benchmarks (1 iteration each)"
 go test -run '^$' -bench . -benchtime 1x ./...
 

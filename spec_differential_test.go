@@ -143,3 +143,57 @@ func TestTargetNames(t *testing.T) {
 		t.Errorf("TargetNames() = %v, want %v", got, want)
 	}
 }
+
+// Every way a target reference can go wrong maps to a distinct,
+// attributable error: unknown names list the registry, unreadable
+// paths say so, and file contents fail at the precise layer (JSON
+// shape, spec schema, or semantic validation) with the path in the
+// message.
+func TestLoadTargetErrorTable(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	valid, err := machine.SpecOf(machine.ReferenceScalar1()).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parses as a spec but fails validation: drop every unit, so the
+	// atomic operations reference units the machine does not have.
+	invalid := machine.SpecOf(machine.ReferenceScalar1())
+	invalid.Units = map[string]int{}
+	invalidJSON, err := invalid.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		ref  string
+		want string // substring of the error
+	}{
+		{"unknown name, no file", "NoSuchMachine", "unknown machine"},
+		{"directory instead of file", dir, "unknown machine"},
+		{"empty file", write("empty.json", nil), "machine spec"},
+		{"not json", write("garbage.json", []byte("pipes: 3")), "machine spec"},
+		{"unknown field", write("typo.json", []byte(`{"pipes": 3}`)), "unknown field"},
+		{"trailing document", write("two.json", append(append([]byte{}, valid...), valid...)), "trailing data"},
+		{"parses but invalid", write("nounits.json", invalidJSON), "no units"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadTarget(tc.ref)
+			if err == nil {
+				t.Fatalf("LoadTarget(%q) succeeded; want error", tc.ref)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("LoadTarget(%q) error %q, want substring %q", tc.ref, err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,18 @@
+program gen4059
+  integer i, j, k, n
+  parameter (n = 64)
+  real u(65,65,65), v(65,65,65), s, t, alpha
+  s = 2.5
+  t = 1.5
+  alpha = 0.0
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        alpha = alpha + u(i,j,k+1) * v(i,j,k+1)
+        if (k .le. 11) then
+          u(i+1,j,k) = (u(i,j+1,k)) * (abs(u(i,j+1,k))) + u(i,j,k)
+        end if
+      end do
+    end do
+  end do
+end

@@ -1,0 +1,13 @@
+program gen2040
+  integer i, j, n
+  parameter (n = 64)
+  real u(65,65), v(65,65), s
+  s = 2.5
+  do i = 1, n
+    do j = 1, n
+      s = s + v(j,i)
+      v(i,j+1) = u(i,j+1) * sqrt(u(i,j)) + v(i,j)
+      s = s + (v(i,j)) / v(i,j)
+    end do
+  end do
+end

@@ -1,0 +1,11 @@
+program gen1850
+  integer i, j, n
+  parameter (n = 64)
+  real u(65,65), v(65,65), w(65,65), x(65,65), s
+  s = 0.75
+  do i = 1, n
+    do j = 1, n
+      u(i+1,j) = (sqrt(w(i,j+1))) * 3.0 / u(i,j) * u(i,j)
+    end do
+  end do
+end

@@ -1,0 +1,15 @@
+subroutine gen0175(n)
+  integer i, j, n
+  real u(65,65), v(65,65), w(65,65), s, t
+  s = 1.5
+  t = 0.0
+  do i = 1, n
+    do j = 1, n
+      u(j,i) = (w(i,j)) + 3.0 + (v(j,i)) + (abs(0.5)) + s
+      t = t + (w(i+1,j)) * u(i,j+1)
+      if (j .le. 60) then
+        s = s + u(i,j)
+      end if
+    end do
+  end do
+end

@@ -1,0 +1,13 @@
+subroutine gen8480(n)
+  integer i, n
+  real u(65), v(65), w(65), s, t
+  s = 2.5
+  t = 2.5
+  do i = 1, n
+    s = s + u(i) / sqrt(0.25) * v(i)
+    v(i+1) = u(i) * (v(i+1)) * v(i)
+    if (i .le. 26) then
+      t = t + abs(s) * s
+    end if
+  end do
+end

@@ -1,0 +1,14 @@
+program gen9022
+  integer i, n
+  parameter (n = 64)
+  real u(65), v(65), w(65), x(65), s, t, alpha
+  s = 0.75
+  t = 0.0
+  alpha = 2.5
+  do i = 1, n
+    v(i) = ((1.0) * v(i)) * sqrt(2.0) - w(i)
+    x(i) = ((u(i)) + x(i+1)) / 3.0 * 3.0
+    u(i) = w(i) * 3.0 * 0.25 / x(i) * sqrt(3.0)
+    w(i) = v(i) - 3.0
+  end do
+end

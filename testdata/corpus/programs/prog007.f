@@ -1,0 +1,18 @@
+program gen4863
+  integer i, j, k, n
+  parameter (n = 64)
+  real u(65,65,65), v(65,65,65), s
+  s = 0.0
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        u(i,j,k+1) = u(i,j,k+1) + sqrt(v(i,j,k)) + 1.0
+        if (k .le. 19) then
+          s = s + (u(i,j,k) + 0.25) * v(i,j,k+1)
+        else
+          v(i,j,k+1) = v(i,j,k+1) * abs(s) * v(i,j+1,k)
+        end if
+      end do
+    end do
+  end do
+end

@@ -1,0 +1,16 @@
+program gen9076
+  integer i, j, n
+  parameter (n = 64)
+  real u(65,65), v(65,65), s, t, alpha
+  s = 2.5
+  t = 1.5
+  alpha = 1.5
+  do i = 1, n
+    do j = 1, n
+      s = s + s
+      u(i,j+1) = abs(v(i,j)) / u(i,j)
+      u(j,i) = (u(i+1,j) + v(i,j) + v(i,j)) / alpha
+      v(i,j) = (2.0) * v(j,i) + alpha * 1.0 - 3.0
+    end do
+  end do
+end

@@ -1,0 +1,15 @@
+subroutine gen7989(n)
+  integer i, j, k, n
+  real u(65,65,65), v(65,65,65), w(65,65,65), s, t
+  s = 2.5
+  t = 0.75
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        s = s + 2.0 * w(i,j,k) + v(i,j,k)
+        t = t + abs(1.0)
+        v(i,j,k+1) = w(i,j,k) - w(i,j,k+1) * abs(v(i,j,k))
+      end do
+    end do
+  end do
+end

@@ -1,0 +1,16 @@
+subroutine gen5939(n)
+  integer i, j, k, n
+  real u(65,65,65), v(65,65,65), w(65,65,65), s, t
+  s = 0.0
+  t = 0.75
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        u(i+1,j,k) = sqrt(w(i,j,k)) / abs(w(i,j,k)) + s - u(i,j,k)
+        w(i,j,k) = w(i,j,k+1) * v(i,j,k) / t + sqrt(v(i,j,k+1)) * w(i,j,k)
+        t = t + v(i,j,k+1) + sqrt(t)
+        w(i,j+1,k) = (u(i,j,k+1)) * s - u(i+1,j,k) + w(i,j,k) * v(i,j,k)
+      end do
+    end do
+  end do
+end

@@ -1,0 +1,11 @@
+program gen6036
+  integer i, n
+  parameter (n = 64)
+  real u(65), v(65), w(65), x(65), s, t, alpha
+  s = 1.5
+  t = 1.5
+  alpha = 0.75
+  do i = 1, n
+    v(i) = (s) / w(i) - (u(i)) + u(i) * alpha
+  end do
+end

@@ -1,0 +1,13 @@
+program gen1850
+  integer i, n
+  parameter (n = 64)
+  real u(65), v(65), w(65), s, t
+  s = 2.5
+  t = 0.75
+  do i = 1, n
+    w(i+1) = v(i+1) * w(i) * 0.5
+    u(i+1) = w(i+1) + 3.0
+    v(i) = (u(i+1)) / w(i) * u(i)
+    v(i+1) = abs(w(i+1)) * v(i+1) * u(i) / 1.0
+  end do
+end

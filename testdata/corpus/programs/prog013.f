@@ -1,0 +1,15 @@
+program gen3435
+  integer i, j, n
+  parameter (n = 64)
+  real u(65,65), v(65,65), s
+  s = 0.75
+  do i = 1, n
+    do j = 1, n
+      u(i+1,j) = (v(i,j+1)) / u(i,j) * v(i+1,j) + (u(i+1,j)) * u(j,i)
+      u(i,j) = (abs(v(i,j+1)) - 2.0) * v(i,j) / v(i,j)
+      if (j .le. 62) then
+        u(j,i) = (u(i,j+1) * s) - (0.25 / v(i+1,j)) / v(j,i)
+      end if
+    end do
+  end do
+end

@@ -1,0 +1,17 @@
+subroutine gen6968(n)
+  integer i, j, k, n
+  real u(65,65,65), v(65,65,65), w(65,65,65), x(65,65,65), s, t, alpha
+  s = 0.0
+  t = 0.0
+  alpha = 0.0
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        t = t + (t) + alpha / v(i,j,k)
+        x(i,j+1,k) = x(i,j,k+1) * (alpha) * sqrt(x(i,j,k))
+        v(i,j,k) = (u(i,j,k)) * ((2.0 - abs(0.5)) * 2.0) * alpha
+        s = s + t + 0.25 * u(i,j,k)
+      end do
+    end do
+  end do
+end

@@ -1,0 +1,9 @@
+subroutine gen3610(n)
+  integer i, n
+  real u(65), v(65), s, t
+  s = 1.5
+  t = 0.75
+  do i = 1, n
+    u(i) = v(i+1) * 3.0 - 0.5 + (u(i)) / v(i)
+  end do
+end

@@ -1,0 +1,13 @@
+subroutine gen9567(n)
+  integer i, n
+  real u(65), v(65), w(65), s, t, alpha
+  s = 0.75
+  t = 0.0
+  alpha = 0.0
+  do i = 1, n
+    u(i+1) = t - w(i) * u(i+1) + sqrt(v(i)) + v(i)
+    if (i .le. 57) then
+      v(i+1) = (u(i+1)) / 1.0 * 0.5 * w(i)
+    end if
+  end do
+end

@@ -1,0 +1,11 @@
+program gen3552
+  integer i, n
+  parameter (n = 64)
+  real u(65), v(65), w(65), x(65), s, t
+  s = 0.0
+  t = 0.0
+  do i = 1, n
+    s = s + v(i)
+    w(i+1) = x(i) / w(i)
+  end do
+end

@@ -1,0 +1,12 @@
+subroutine gen1070(n)
+  integer i, j, n
+  real u(65,65), v(65,65), w(65,65), x(65,65), s, t
+  s = 1.5
+  t = 2.5
+  do i = 1, n
+    do j = 1, n
+      u(i,j) = (w(j,i)) / s
+      v(i,j) = (u(j,i)) + s * (t) * v(i,j+1)
+    end do
+  end do
+end

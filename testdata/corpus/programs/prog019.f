@@ -1,0 +1,12 @@
+subroutine gen1023(n)
+  integer i, j, k, n
+  real u(65,65,65), v(65,65,65), w(65,65,65), s
+  s = 2.5
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        u(i,j,k) = u(i,j,k) * s
+      end do
+    end do
+  end do
+end

@@ -1,0 +1,14 @@
+subroutine gen8677(n)
+  integer i, j, k, n
+  real u(65,65,65), v(65,65,65), s, t, alpha
+  s = 0.75
+  t = 0.0
+  alpha = 1.5
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        v(i,j,k+1) = (t) * u(i,j,k)
+      end do
+    end do
+  end do
+end

@@ -1,0 +1,15 @@
+program gen5525
+  integer i, j, k, n
+  parameter (n = 64)
+  real u(65,65,65), v(65,65,65), w(65,65,65), s
+  s = 0.0
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        u(i,j,k) = (v(i,j,k) / abs(w(i,j,k))) * (u(i,j,k)) + v(i,j,k) * v(i,j,k+1)
+        s = s + v(i,j,k) + u(i,j,k) * w(i+1,j,k)
+        w(i,j+1,k) = (abs(0.5)) * u(i,j,k) * w(i,j+1,k)
+      end do
+    end do
+  end do
+end

@@ -1,0 +1,12 @@
+program gen7395
+  integer i, n
+  parameter (n = 64)
+  real u(65), v(65), s, t
+  s = 2.5
+  t = 0.75
+  do i = 1, n
+    s = s + t / v(i) - u(i)
+    v(i) = (v(i+1)) / s * abs(v(i)) + s
+    u(i+1) = s / v(i+1)
+  end do
+end

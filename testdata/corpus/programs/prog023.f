@@ -1,0 +1,17 @@
+subroutine gen2820(n)
+  integer i, j, k, n
+  real u(65,65,65), v(65,65,65), w(65,65,65), s, t, alpha
+  s = 0.75
+  t = 1.5
+  alpha = 0.75
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        w(i,j,k) = abs(0.5) - u(i+1,j,k) - (v(i,j,k) + 0.5) + abs(w(i+1,j,k))
+        u(i,j,k) = w(i+1,j,k) * w(i,j,k)
+        s = s + w(i,j,k)
+        u(i,j,k) = (t) + 1.0
+      end do
+    end do
+  end do
+end

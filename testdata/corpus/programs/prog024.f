@@ -1,0 +1,18 @@
+program gen3562
+  integer i, j, n
+  parameter (n = 64)
+  real u(65,65), v(65,65), s, t
+  s = 0.0
+  t = 1.5
+  do i = 1, n
+    do j = 1, n
+      s = s + sqrt(s)
+      v(i,j) = 0.5 * 0.5
+      t = t + v(i,j+1) * u(i,j+1)
+      v(i,j) = ((s) + abs(2.0) / 0.25) - (v(i,j+1)) + s
+      if (j .le. 11) then
+        v(i,j) = u(i,j+1) / v(i,j)
+      end if
+    end do
+  end do
+end

@@ -1,0 +1,16 @@
+program gen3995
+  integer i, j, n
+  parameter (n = 64)
+  real u(65,65), v(65,65), w(65,65), s, t, alpha
+  s = 1.5
+  t = 0.0
+  alpha = 2.5
+  do i = 1, n
+    do j = 1, n
+      w(i,j) = abs(w(i,j)) * v(i,j) / v(i,j)
+      w(i,j) = w(j,i) * w(i,j) - (u(i+1,j)) / u(i,j) / sqrt(t)
+      u(i+1,j) = u(i,j) + w(i,j) * alpha + w(i,j+1)
+      w(i,j+1) = 0.25 * w(i,j) * (w(i,j)) * abs(s) * 2.0
+    end do
+  end do
+end

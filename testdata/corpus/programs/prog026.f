@@ -1,0 +1,14 @@
+program gen8105
+  integer i, j, k, n
+  parameter (n = 64)
+  real u(65,65,65), v(65,65,65), w(65,65,65), s
+  s = 0.75
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        u(i,j,k) = u(i+1,j,k) - (v(i,j,k)) + (v(i,j,k) - s) * u(i,j,k)
+        u(i+1,j,k) = u(i,j,k) * v(i,j,k)
+      end do
+    end do
+  end do
+end

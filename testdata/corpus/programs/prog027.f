@@ -1,0 +1,23 @@
+program gen9818
+  integer i, j, k, n
+  parameter (n = 64)
+  real u(65,65,65), v(65,65,65), w(65,65,65), x(65,65,65), s, t, alpha
+  s = 0.75
+  t = 1.5
+  alpha = 0.0
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        x(i,j+1,k) = (abs(t)) * u(i,j,k)
+        w(i,j,k) = (abs(v(i,j,k))) + t
+        v(i,j,k) = (sqrt(v(i,j+1,k)) / abs(w(i,j,k))) / abs(3.0) * w(i,j,k)
+        w(i,j,k) = ((x(i,j,k)) * w(i,j,k)) + (v(i+1,j,k)) - v(i,j,k)
+        if (k .le. 8) then
+          v(i,j+1,k) = (3.0) * v(i,j,k)
+        else
+          x(i,j,k) = 0.25 * abs(2.0) + w(i,j,k)
+        end if
+      end do
+    end do
+  end do
+end

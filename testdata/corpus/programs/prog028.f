@@ -1,0 +1,15 @@
+program gen5935
+  integer i, j, k, n
+  parameter (n = 64)
+  real u(65,65,65), v(65,65,65), s, t, alpha
+  s = 1.5
+  t = 0.75
+  alpha = 0.75
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        u(i,j+1,k) = abs(u(i,j,k)) / t + v(i,j,k) - abs(v(i,j,k)) + 2.0
+      end do
+    end do
+  end do
+end

@@ -1,0 +1,9 @@
+program gen3069
+  integer i, n
+  parameter (n = 64)
+  real u(65), v(65), s
+  s = 2.5
+  do i = 1, n
+    s = s + (u(i+1)) / u(i)
+  end do
+end

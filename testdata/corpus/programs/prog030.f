@@ -1,0 +1,12 @@
+program gen7678
+  integer i, n
+  parameter (n = 64)
+  real u(65), v(65), w(65), s, t, alpha
+  s = 0.75
+  t = 1.5
+  alpha = 1.5
+  do i = 1, n
+    w(i+1) = v(i+1) / t
+    u(i) = ((v(i) / alpha) - w(i)) - abs(u(i))
+  end do
+end

@@ -1,0 +1,14 @@
+program gen9540
+  integer i, j, k, n
+  parameter (n = 64)
+  real u(65,65,65), v(65,65,65), s, t
+  s = 0.0
+  t = 2.5
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        s = s + u(i+1,j,k) * s * 0.25
+      end do
+    end do
+  end do
+end

@@ -1,0 +1,13 @@
+subroutine gen1653(n)
+  integer i, j, k, n
+  real u(65,65,65), v(65,65,65), w(65,65,65), s, t
+  s = 1.5
+  t = 0.0
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        v(i,j,k) = ((u(i,j,k)) + 2.0 * w(i+1,j,k) + v(i,j,k)) * abs(u(i,j,k+1))
+      end do
+    end do
+  end do
+end

@@ -1,0 +1,13 @@
+program gen7906
+  integer i, j, n
+  parameter (n = 64)
+  real u(65,65), v(65,65), w(65,65), x(65,65), s
+  s = 0.75
+  do i = 1, n
+    do j = 1, n
+      u(i,j) = (v(i,j) * u(i,j) * u(i,j)) - sqrt(x(i,j))
+      s = s + (v(j,i) + x(i+1,j)) - s
+      u(i,j) = s - (abs(x(i,j))) * s
+    end do
+  end do
+end

@@ -1,0 +1,11 @@
+program gen4420
+  integer i, n
+  parameter (n = 64)
+  real u(65), v(65), s
+  s = 0.75
+  do i = 1, n
+    v(i+1) = u(i) / abs(1.0) * (abs(v(i))) * abs(u(i))
+    u(i+1) = v(i+1) + 2.0 * v(i) - (u(i)) / abs(u(i+1))
+    v(i+1) = v(i+1) * (abs(u(i+1)) / (2.0) * s) * s
+  end do
+end

@@ -1,0 +1,14 @@
+program gen0217
+  integer i, n
+  parameter (n = 64)
+  real u(65), v(65), w(65), x(65), s
+  s = 1.5
+  do i = 1, n
+    u(i) = 3.0 * x(i) * abs(w(i)) + sqrt(x(i))
+    if (i .le. 50) then
+      w(i+1) = (v(i+1)) / s + u(i+1)
+    else
+      v(i+1) = 0.25 * v(i+1)
+    end if
+  end do
+end

@@ -1,0 +1,16 @@
+program gen5050
+  integer i, j, k, n
+  parameter (n = 64)
+  real u(65,65,65), v(65,65,65), s, t
+  s = 2.5
+  t = 1.5
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        s = s + sqrt(s) * t
+        v(i,j,k) = s + sqrt(1.0) * u(i,j,k)
+        t = t + u(i,j,k)
+      end do
+    end do
+  end do
+end

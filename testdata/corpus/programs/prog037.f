@@ -1,0 +1,12 @@
+program gen7943
+  integer i, n
+  parameter (n = 64)
+  real u(65), v(65), w(65), x(65), s, t
+  s = 0.75
+  t = 1.5
+  do i = 1, n
+    x(i) = (w(i)) * 3.0 + (v(i)) + (sqrt(x(i))) * v(i)
+    w(i) = (2.0) - abs(t)
+    v(i) = 0.25 + s
+  end do
+end

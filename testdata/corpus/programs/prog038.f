@@ -1,0 +1,15 @@
+program gen0937
+  integer i, j, k, n
+  parameter (n = 64)
+  real u(65,65,65), v(65,65,65), w(65,65,65), x(65,65,65), s, t, alpha
+  s = 1.5
+  t = 0.75
+  alpha = 2.5
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        x(i,j,k) = (x(i,j,k) - sqrt(3.0)) - sqrt(w(i,j,k)) + sqrt(0.25) * sqrt(x(i+1,j,k))
+      end do
+    end do
+  end do
+end

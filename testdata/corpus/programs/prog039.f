@@ -1,0 +1,18 @@
+subroutine gen9054(n)
+  integer i, j, k, n
+  real u(65,65,65), v(65,65,65), w(65,65,65), x(65,65,65), s
+  s = 1.5
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        x(i,j,k) = sqrt(3.0) / u(i,j,k+1) + s * abs(v(i,j,k)) - x(i,j,k+1)
+        w(i,j,k) = x(i,j,k) - 3.0
+        if (k .le. 32) then
+          u(i,j+1,k) = ((w(i,j,k+1)) + (x(i,j,k)) * s) * w(i,j,k)
+        else
+          v(i,j,k) = s * (x(i+1,j,k)) * w(i,j,k) * 0.25 - u(i,j,k)
+        end if
+      end do
+    end do
+  end do
+end

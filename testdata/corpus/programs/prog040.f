@@ -1,0 +1,13 @@
+program gen2111
+  integer i, n
+  parameter (n = 64)
+  real u(65), v(65), w(65), s
+  s = 0.75
+  do i = 1, n
+    w(i) = s * sqrt(v(i)) * s * s + v(i)
+    u(i+1) = (v(i+1)) * (sqrt(v(i))) + v(i+1) * v(i) * s
+    if (i .le. 57) then
+      v(i+1) = v(i) + v(i) * v(i) + u(i)
+    end if
+  end do
+end

@@ -1,0 +1,17 @@
+program gen2188
+  integer i, n
+  parameter (n = 64)
+  real u(65), v(65), w(65), s, t, alpha
+  s = 0.0
+  t = 0.75
+  alpha = 0.0
+  do i = 1, n
+    v(i+1) = v(i) - u(i) - sqrt(2.0)
+    alpha = alpha + (abs(v(i))) + w(i+1) / 0.25
+    s = s + abs(u(i)) - v(i)
+    w(i) = 2.0 * abs(1.0) * (abs(2.0)) * 0.25
+    if (i .le. 31) then
+      s = s + (abs(w(i))) - sqrt(v(i+1)) / u(i)
+    end if
+  end do
+end

@@ -1,0 +1,15 @@
+program gen4750
+  integer i, j, k, n
+  parameter (n = 64)
+  real u(65,65,65), v(65,65,65), w(65,65,65), x(65,65,65), s, t, alpha
+  s = 1.5
+  t = 1.5
+  alpha = 0.0
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        v(i,j,k) = v(i,j,k) * (v(i,j,k)) / w(i,j,k) / alpha * alpha
+      end do
+    end do
+  end do
+end

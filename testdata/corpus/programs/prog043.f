@@ -1,0 +1,14 @@
+program gen9699
+  integer i, n
+  parameter (n = 64)
+  real u(65), v(65), w(65), s, t, alpha
+  s = 2.5
+  t = 2.5
+  alpha = 0.0
+  do i = 1, n
+    u(i) = s * s + u(i+1) * 3.0 * w(i+1)
+    if (i .le. 36) then
+      w(i) = (((0.25) / 2.0) + s) * (abs(t)) * w(i)
+    end if
+  end do
+end

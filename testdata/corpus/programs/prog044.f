@@ -1,0 +1,18 @@
+program gen6309
+  integer i, j, k, n
+  parameter (n = 64)
+  real u(65,65,65), v(65,65,65), w(65,65,65), s, t, alpha
+  s = 0.0
+  t = 0.75
+  alpha = 0.0
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        u(i,j,k) = 0.25 - sqrt(t) - 0.5 / u(i+1,j,k)
+        s = s + s
+        v(i,j+1,k) = u(i,j,k) + sqrt(u(i,j,k)) * abs(t)
+        v(i,j,k) = u(i,j,k) * w(i+1,j,k) / abs(s)
+      end do
+    end do
+  end do
+end

@@ -1,0 +1,15 @@
+program gen0626
+  integer i, n
+  parameter (n = 64)
+  real u(65), v(65), w(65), s
+  s = 1.5
+  do i = 1, n
+    s = s + s * w(i+1)
+    u(i) = (s) * sqrt(u(i))
+    if (i .le. 14) then
+      u(i) = (v(i)) / w(i+1) * w(i+1) - sqrt(v(i))
+    else
+      w(i) = (u(i)) * v(i) / w(i) + s
+    end if
+  end do
+end

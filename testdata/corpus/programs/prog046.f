@@ -1,0 +1,14 @@
+program gen5251
+  integer i, n
+  parameter (n = 64)
+  real u(65), v(65), w(65), x(65), s, t, alpha
+  s = 1.5
+  t = 2.5
+  alpha = 1.5
+  do i = 1, n
+    x(i) = w(i) / u(i)
+    x(i) = (3.0) * x(i)
+    v(i+1) = ((sqrt(v(i))) - x(i)) - w(i) / u(i+1)
+    x(i) = w(i) * abs(v(i))
+  end do
+end

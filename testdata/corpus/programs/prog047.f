@@ -1,0 +1,13 @@
+program gen4457
+  integer i, j, n
+  parameter (n = 64)
+  real u(65,65), v(65,65), w(65,65), x(65,65), s, t
+  s = 0.75
+  t = 2.5
+  do i = 1, n
+    do j = 1, n
+      t = t + s
+      v(i+1,j) = x(i,j+1) - (x(i+1,j)) * v(j,i) / t
+    end do
+  end do
+end

@@ -1,0 +1,10 @@
+subroutine gen2954(n)
+  integer i, n
+  real u(65), v(65), s, t
+  s = 0.0
+  t = 0.75
+  do i = 1, n
+    t = t + sqrt(v(i+1)) * u(i)
+    v(i) = (u(i+1)) - v(i) - s - v(i) / t
+  end do
+end

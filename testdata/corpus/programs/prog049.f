@@ -1,0 +1,10 @@
+subroutine gen2984(n)
+  integer i, n
+  real u(65), v(65), s
+  s = 1.5
+  do i = 1, n
+    u(i) = 0.25 * (u(i)) * v(i)
+    s = s + v(i+1) + abs(v(i))
+    u(i) = (abs(u(i))) * u(i)
+  end do
+end

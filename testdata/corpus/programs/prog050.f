@@ -1,0 +1,11 @@
+program gen1257
+  integer i, n
+  parameter (n = 64)
+  real u(65), v(65), s
+  s = 0.75
+  do i = 1, n
+    u(i+1) = (sqrt(u(i+1)) - 1.0) / v(i)
+    u(i) = u(i) + u(i) - s * sqrt(s) * u(i)
+    v(i) = (sqrt(u(i)) / u(i)) * v(i+1)
+  end do
+end
