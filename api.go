@@ -34,6 +34,7 @@
 package perfpredict
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -44,7 +45,6 @@ import (
 	"perfpredict/internal/sem"
 	"perfpredict/internal/source"
 	"perfpredict/internal/symexpr"
-	"perfpredict/internal/xform"
 )
 
 // Expression is a symbolic performance expression: a polynomial over
@@ -325,35 +325,7 @@ type OptimizeResult struct {
 // tile, fuse) for the cheapest predicted variant (§3.2). nominal
 // assigns values to unknowns for ranking.
 func Optimize(src string, target *Target, nominal map[string]float64) (OptimizeResult, error) {
-	prog, err := source.Parse(src)
-	if err != nil {
-		return OptimizeResult{}, err
-	}
-	if _, err := sem.Analyze(prog); err != nil {
-		return OptimizeResult{}, err
-	}
-	nom := map[symexpr.Var]float64{}
-	for k, v := range nominal {
-		nom[symexpr.Var(k)] = v
-	}
-	res, err := xform.Search(prog, xform.SearchOptions{Machine: target, Nominal: nom})
-	if err != nil {
-		return OptimizeResult{}, err
-	}
-	out := OptimizeResult{
-		Source:          source.PrintProgram(res.Best),
-		PredictedBefore: res.InitialCost,
-		PredictedAfter:  res.BestCost,
-		Explored:        res.Explored,
-		SegCacheHits:    res.CacheHits,
-		SegCacheMisses:  res.CacheMisses,
-		NestCacheHits:   res.NestHits,
-		NestsRepriced:   res.NestMisses,
-	}
-	for _, mv := range res.Sequence {
-		out.Transformations = append(out.Transformations, mv.String())
-	}
-	return out, nil
+	return OptimizeCtx(context.Background(), src, target, nominal, OptimizeOptions{})
 }
 
 // Library is an external-routine cost table (§3.5 of the paper):

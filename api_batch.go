@@ -1,6 +1,8 @@
 package perfpredict
 
 import (
+	"context"
+
 	"perfpredict/internal/aggregate"
 	"perfpredict/internal/sem"
 	"perfpredict/internal/source"
@@ -41,6 +43,16 @@ type BatchOptions struct {
 // to calling Predict on each source serially — the shared cache only
 // changes how often segment costs are recomputed, never their values.
 func PredictBatch(srcs []string, target *Target, opt BatchOptions) ([]*Prediction, []error) {
+	return PredictBatchCtx(context.Background(), srcs, target, opt)
+}
+
+// PredictBatchCtx is PredictBatch under a context: once ctx is done,
+// workers stop picking up further programs (the one each worker is
+// pricing finishes), and every program that never ran gets a nil
+// prediction with ctx.Err() in its error slot. Programs that did
+// complete keep their results, so partial batches remain usable and
+// are still byte-identical to serial pricing of the same indices.
+func PredictBatchCtx(ctx context.Context, srcs []string, target *Target, opt BatchOptions) ([]*Prediction, []error) {
 	preds := make([]*Prediction, len(srcs))
 	errs := make([]error, len(srcs))
 	if len(srcs) == 0 {
@@ -54,9 +66,17 @@ func PredictBatch(srcs []string, target *Target, opt BatchOptions) ([]*Predictio
 	if cache == nil {
 		cache = NewSegmentCache()
 	}
-	workpool.Run(len(srcs), opt.Workers, func(i int) {
+	if err := workpool.RunCtx(ctx, len(srcs), opt.Workers, func(i int) {
 		preds[i], errs[i] = predictWithCache(srcs[i], target, aopt, cache)
-	})
+	}); err != nil {
+		// predictWithCache always fills exactly one slot, so a
+		// both-nil pair marks an index the cancelled pool never ran.
+		for i := range srcs {
+			if preds[i] == nil && errs[i] == nil {
+				errs[i] = err
+			}
+		}
+	}
 	return preds, errs
 }
 

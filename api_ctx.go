@@ -1,0 +1,84 @@
+package perfpredict
+
+import (
+	"context"
+
+	"perfpredict/internal/aggregate"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+	"perfpredict/internal/symexpr"
+	"perfpredict/internal/xform"
+)
+
+// NestCache memoizes whole loop-nest pricings across transformation
+// searches (the layer above SegmentCache). Safe for concurrent use;
+// entries are keyed by structural fingerprint × machine content
+// fingerprint, so one instance may serve every machine. See
+// NewNestCache.
+type NestCache = aggregate.NestCache
+
+// NewNestCache creates an empty shared nest-level cost cache.
+func NewNestCache() *NestCache { return aggregate.NewNestCache() }
+
+// OptimizeOptions tune OptimizeCtx beyond the required arguments.
+// The zero value reproduces Optimize exactly.
+type OptimizeOptions struct {
+	// Workers bounds the search's neighbor-expansion concurrency;
+	// <= 0 uses runtime.GOMAXPROCS(0).
+	Workers int
+	// SegCache and NestCache are warm shared caches the search prices
+	// through; nil members get fresh private instances. Costs never
+	// depend on cache state — sharing only changes how much pricing
+	// work is recomputed — so results are byte-identical either way.
+	SegCache  *SegmentCache
+	NestCache *NestCache
+	// MaxNodes and MaxDepth bound the search (0 keeps the xform
+	// defaults of 40 states / depth 3).
+	MaxNodes int
+	MaxDepth int
+}
+
+// OptimizeCtx is Optimize under a context with service-grade knobs:
+// cancellation is checked at every search-node expansion, so a
+// dropped caller stops the burn within one expansion. On cancellation
+// the best fully priced variant found so far is returned alongside
+// ctx.Err(); OptimizeResult is the zero value only when ctx expired
+// before the initial pricing finished.
+func OptimizeCtx(ctx context.Context, src string, target *Target, nominal map[string]float64, opt OptimizeOptions) (OptimizeResult, error) {
+	prog, err := source.Parse(src)
+	if err != nil {
+		return OptimizeResult{}, err
+	}
+	if _, err := sem.Analyze(prog); err != nil {
+		return OptimizeResult{}, err
+	}
+	nom := map[symexpr.Var]float64{}
+	for k, v := range nominal {
+		nom[symexpr.Var(k)] = v
+	}
+	res, serr := xform.SearchCtx(ctx, prog, xform.SearchOptions{
+		Machine:  target,
+		Nominal:  nom,
+		Workers:  opt.Workers,
+		MaxNodes: opt.MaxNodes,
+		MaxDepth: opt.MaxDepth,
+		Caches:   aggregate.Caches{Seg: opt.SegCache, Nest: opt.NestCache},
+	})
+	if res.Best == nil {
+		return OptimizeResult{}, serr
+	}
+	out := OptimizeResult{
+		Source:          source.PrintProgram(res.Best),
+		PredictedBefore: res.InitialCost,
+		PredictedAfter:  res.BestCost,
+		Explored:        res.Explored,
+		SegCacheHits:    res.CacheHits,
+		SegCacheMisses:  res.CacheMisses,
+		NestCacheHits:   res.NestHits,
+		NestsRepriced:   res.NestMisses,
+	}
+	for _, mv := range res.Sequence {
+		out.Transformations = append(out.Transformations, mv.String())
+	}
+	return out, serr
+}

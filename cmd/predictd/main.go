@@ -1,0 +1,78 @@
+// Command predictd is the prediction service: the perfpredict
+// library behind an HTTP API, for deployments where per-invocation
+// process startup would dominate the analysis itself.
+//
+//	predictd [-addr :8791] [-max-inflight 64] [-timeout 30s]
+//	         [-max-body 1048576] [-workers 0] [-pprof]
+//
+// Endpoints (all POST, JSON in/out; see README "Serving"):
+//
+//	/v1/predict   price one program, optionally evaluate at a point
+//	/v1/batch     price many programs on one warm shared cache
+//	/v1/optimize  search transformations for a faster variant
+//
+// plus GET /metrics (Prometheus text), /healthz, /readyz, and — with
+// -pprof — /debug/pprof/. Every API request runs under a deadline
+// (-timeout) that is threaded as context cancellation into the batch
+// workers and the transformation search, so a dropped client stops
+// consuming CPU. Admission is bounded (-max-inflight); excess load is
+// shed with 503 instead of queueing. SIGINT/SIGTERM drain gracefully:
+// /readyz flips to 503, in-flight requests finish, then the listener
+// closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"perfpredict/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8791", "listen address")
+	maxInflight := flag.Int("max-inflight", 64, "admitted-request bound; excess is shed with 503")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
+	workers := flag.Int("workers", 0, "per-request worker-pool cap for batch/optimize (0 = GOMAXPROCS)")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain deadline")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxInflight:  *maxInflight,
+		Timeout:      *timeout,
+		MaxBodyBytes: *maxBody,
+		Workers:      *workers,
+		EnablePprof:  *enablePprof,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		log.Printf("predictd: %v: draining (deadline %v)", s, *drainTimeout)
+		srv.SetDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("predictd: drain: %v", err)
+		}
+	}()
+
+	log.Printf("predictd: listening on %s (max-inflight %d, timeout %v)", *addr, *maxInflight, *timeout)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("predictd: %v", err)
+	}
+	<-done
+	log.Printf("predictd: drained, bye")
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Exposition-format grammar, one line at a time: a metric line is a
+// name, an optional {label="value",...} set, and a float value. The
+// value regexp accepts what formatFloat emits plus the spec's NaN and
+// signed infinities.
+var (
+	sampleRe = regexp.MustCompile(
+		`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (NaN|[+-]?Inf|[+-]?[0-9].*)$`)
+	headRe = regexp.MustCompile(`^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*)( .*)?$`)
+)
+
+// Lint checks that data is well-formed Prometheus text exposition
+// (version 0.0.4) as this package emits it: every line is a HELP or
+// TYPE comment or a sample; every sample's family was introduced by a
+// preceding TYPE; sample values parse as floats; and no family is
+// declared twice. It returns the first violation found.
+func Lint(data []byte) error {
+	typed := map[string]string{}
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		if line == "" {
+			if ln != len(lines)-1 {
+				return fmt.Errorf("line %d: blank line inside exposition", ln+1)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			m := headRe.FindStringSubmatch(line)
+			if m == nil {
+				return fmt.Errorf("line %d: malformed comment %q", ln+1, line)
+			}
+			if m[1] == "TYPE" {
+				if _, dup := typed[m[2]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", ln+1, m[2])
+				}
+				rest := strings.TrimSpace(m[3])
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", ln+1, rest)
+				}
+				typed[m[2]] = rest
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", ln+1, line)
+		}
+		if m[3] != "NaN" && !strings.HasSuffix(m[3], "Inf") {
+			if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+				return fmt.Errorf("line %d: bad value %q: %v", ln+1, m[3], err)
+			}
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(m[1], "_bucket"), "_sum"), "_count")
+		if _, ok := typed[family]; !ok {
+			if _, ok := typed[m[1]]; !ok {
+				return fmt.Errorf("line %d: sample %s precedes its TYPE", ln+1, m[1])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestPackCtxPreCancelled: with the context already done, the search
+// expands nothing — but the program-order incumbent is still seeded,
+// so the result is the greedy schedule with Proven=false alongside
+// the context error (the budget-truncation contract).
+func TestPackCtxPreCancelled(t *testing.T) {
+	m := toyMachine()
+	b := hoistBlock()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := PackCtx(ctx, m, b, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Proven {
+		t.Error("cancelled search claims a proven optimum")
+	}
+	greedy, gerr := GreedyInOrder(m, b, Options{})
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
+	if res.Cost != greedy.Cost {
+		t.Errorf("cancelled incumbent cost = %d, want greedy %d", res.Cost, greedy.Cost)
+	}
+}
+
+// TestPackCtxBackgroundMatchesPack: threading a live context changes
+// nothing about the search.
+func TestPackCtxBackgroundMatchesPack(t *testing.T) {
+	m := toyMachine()
+	b := hoistBlock()
+	plain, err := Pack(m, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := PackCtx(context.Background(), m, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cost != ctxed.Cost || plain.Proven != ctxed.Proven || plain.Nodes != ctxed.Nodes {
+		t.Errorf("PackCtx(Background) = %+v, Pack = %+v", ctxed, plain)
+	}
+}

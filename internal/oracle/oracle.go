@@ -26,6 +26,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -80,10 +81,22 @@ const (
 // Pack searches all dependence-respecting instruction orders for the
 // cheapest packing of b on m.
 func Pack(m *machine.Machine, b *ir.Block, opt Options) (Result, error) {
+	return PackCtx(context.Background(), m, b, opt)
+}
+
+// PackCtx is Pack under a context: the branch-and-bound polls ctx
+// every ctxCheckStride expanded nodes and unwinds once it is done, so
+// an abandoned exact search stops burning CPU promptly. On
+// cancellation the incumbent found so far is returned with
+// Proven=false alongside ctx.Err() — still a valid upper bound on the
+// optimum (the program-order incumbent is seeded before the search),
+// exactly like a budget truncation.
+func PackCtx(ctx context.Context, m *machine.Machine, b *ir.Block, opt Options) (Result, error) {
 	p, err := newPacker(m, b, opt)
 	if err != nil {
 		return Result{}, err
 	}
+	p.ctx = ctx
 	// Program order first: the incumbent equals the greedy
 	// approximation's schedule, so the returned best can never exceed
 	// it even when the budget truncates the search.
@@ -92,8 +105,14 @@ func Pack(m *machine.Machine, b *ir.Block, opt Options) (Result, error) {
 	res := p.best
 	res.Nodes = p.nodes
 	res.Proven = !p.truncated
-	return res, nil
+	return res, ctx.Err()
 }
+
+// ctxCheckStride is how many branch-and-bound nodes run between
+// context polls: frequent enough that cancellation lands within
+// microseconds, rare enough that the poll is invisible in the node
+// rate.
+const ctxCheckStride = 1024
 
 // GreedyInOrder places b in program order through the oracle's own
 // placement engine — an independent reimplementation of the
@@ -144,6 +163,7 @@ type packer struct {
 	// tail latency lower bounds for pruning.
 	totalLat []int
 
+	ctx       context.Context
 	budget    int
 	nodes     int
 	truncated bool
@@ -278,6 +298,10 @@ func (p *packer) dfs() {
 		return
 	}
 	if p.nodes >= p.budget {
+		p.truncated = true
+		return
+	}
+	if p.ctx != nil && p.nodes%ctxCheckStride == 0 && p.ctx.Err() != nil {
 		p.truncated = true
 		return
 	}

@@ -1,0 +1,71 @@
+package serve
+
+import "net/http"
+
+// Error codes in structured error bodies. Every non-2xx response the
+// service writes is an ErrorResponse carrying one of these, so
+// clients can switch on a stable string instead of parsing messages.
+const (
+	CodeBadJSON           = "bad_json"           // 400: body is not the endpoint's JSON shape
+	CodeBadArgs           = "bad_args"           // 400: evaluation point is unusable (missing unknown)
+	CodeUnknownMachine    = "unknown_machine"    // 404: machine name not in the registry
+	CodeMethodNotAllowed  = "method_not_allowed" // 405: endpoint is POST-only
+	CodeBodyTooLarge      = "body_too_large"     // 413: body exceeds -max-body
+	CodeBadProgram        = "bad_program"        // 422: F-lite source fails to parse or analyze
+	CodeInvalidSpec       = "invalid_spec"       // 422: inline machine spec fails validation
+	CodeInternal          = "internal"           // 500: handler panicked (isolated; service keeps running)
+	CodeOverloaded        = "overloaded"         // 503: admission semaphore full, request shed
+	CodeDeadlineExceeded  = "deadline_exceeded"  // 504: request deadline expired mid-work
+	codeClientClosed      = "client_closed"      // 499-style: client went away; never actually sent
+	statusClientClosed    = 499                  // nginx convention, used only as a metrics label
+	statusUnprocessable   = http.StatusUnprocessableEntity
+	statusTooLarge        = http.StatusRequestEntityTooLarge
+	statusUnavailable     = http.StatusServiceUnavailable
+	statusGatewayTimeout  = http.StatusGatewayTimeout
+	statusMethodNotAllow  = http.StatusMethodNotAllowed
+	statusNotFound        = http.StatusNotFound
+	statusBadRequest      = http.StatusBadRequest
+	statusInternalFailure = http.StatusInternalServerError
+)
+
+// ErrorBody is the structured error payload.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// apiError pairs an HTTP status with a structured body; handlers
+// return it instead of writing responses themselves so the middleware
+// owns every status/counter decision.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errBadJSON(msg string) *apiError {
+	return &apiError{status: statusBadRequest, code: CodeBadJSON, msg: msg}
+}
+
+func errBadArgs(msg string) *apiError {
+	return &apiError{status: statusBadRequest, code: CodeBadArgs, msg: msg}
+}
+
+func errUnknownMachine(msg string) *apiError {
+	return &apiError{status: statusNotFound, code: CodeUnknownMachine, msg: msg}
+}
+
+func errBadProgram(msg string) *apiError {
+	return &apiError{status: statusUnprocessable, code: CodeBadProgram, msg: msg}
+}
+
+func errInvalidSpec(msg string) *apiError {
+	return &apiError{status: statusUnprocessable, code: CodeInvalidSpec, msg: msg}
+}

@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"perfpredict"
+	"perfpredict/internal/machine"
+)
+
+// PredictRequest is the body of POST /v1/predict.
+type PredictRequest struct {
+	// Source is the F-lite program to price.
+	Source string `json:"source"`
+	// Machine names a registered target (default POWER1). Spec, when
+	// given instead, is an inline machine description in the
+	// machine-spec JSON format, validated exactly like a spec file.
+	Machine string          `json:"machine,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	// Args, when present, evaluates the symbolic cost at this point
+	// (probability unknowns default to 0.5).
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+// UnknownJSON mirrors perfpredict.Unknown.
+type UnknownJSON struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	Source string `json:"source"`
+}
+
+// PredictResponse is the body of a successful /v1/predict.
+type PredictResponse struct {
+	Machine  string        `json:"machine"`
+	Cost     string        `json:"cost"`
+	OneTime  string        `json:"one_time,omitempty"`
+	Unknowns []UnknownJSON `json:"unknowns,omitempty"`
+	Eval     *float64      `json:"eval,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Sources []string        `json:"sources"`
+	Machine string          `json:"machine,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	// Args evaluates every successful prediction at one point.
+	Args map[string]float64 `json:"args,omitempty"`
+	// Workers bounds this batch's worker pool (capped by the server's
+	// -workers flag; 0 = server default).
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchItem is one per-source slot of a batch response,
+// index-aligned with the request's sources. Exactly one of Cost or
+// Error is set.
+type BatchItem struct {
+	Cost  string     `json:"cost,omitempty"`
+	Eval  *float64   `json:"eval,omitempty"`
+	Error *ErrorBody `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a successful /v1/batch.
+type BatchResponse struct {
+	Machine string      `json:"machine"`
+	Results []BatchItem `json:"results"`
+}
+
+// OptimizeRequest is the body of POST /v1/optimize.
+type OptimizeRequest struct {
+	Source  string          `json:"source"`
+	Machine string          `json:"machine,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	// Nominal assigns values to unknowns for ranking variants.
+	Nominal map[string]float64 `json:"nominal,omitempty"`
+	// MaxNodes / MaxDepth bound the search (0 = library defaults).
+	MaxNodes int `json:"max_nodes,omitempty"`
+	MaxDepth int `json:"max_depth,omitempty"`
+}
+
+// OptimizeResponse is the body of a successful /v1/optimize. Cache
+// counters are deliberately absent: on the server's warm shared
+// caches they depend on request order, which would break the
+// server-equals-library response contract; cumulative cache
+// statistics are on /metrics instead.
+type OptimizeResponse struct {
+	Machine         string   `json:"machine"`
+	Source          string   `json:"source"`
+	Transformations []string `json:"transformations,omitempty"`
+	PredictedBefore float64  `json:"predicted_before"`
+	PredictedAfter  float64  `json:"predicted_after"`
+	Explored        int      `json:"explored"`
+}
+
+func (s *Server) handlePredict(r *http.Request) (any, *apiError) {
+	var req PredictRequest
+	if aerr := decodeBody(r, &req); aerr != nil {
+		return nil, aerr
+	}
+	target, aerr := resolveMachine(req.Machine, req.Spec)
+	if aerr != nil {
+		return nil, aerr
+	}
+	// A one-element batch is the cache-aware, context-aware single
+	// prediction: it shares the server's warm segment cache.
+	preds, errs := perfpredict.PredictBatchCtx(r.Context(), []string{req.Source}, target,
+		perfpredict.BatchOptions{Workers: 1, Cache: s.seg})
+	if err := r.Context().Err(); err != nil {
+		return nil, ctxError(err)
+	}
+	if errs[0] != nil {
+		return nil, errBadProgram(errs[0].Error())
+	}
+	return buildPredictResponse(preds[0], target.Name, req.Args)
+}
+
+// buildPredictResponse converts a library prediction into the wire
+// shape — shared with the e2e suite, which byte-compares the server
+// body against this function applied to a direct library call.
+func buildPredictResponse(p *perfpredict.Prediction, machineName string, args map[string]float64) (PredictResponse, *apiError) {
+	resp := PredictResponse{Machine: machineName, Cost: p.Cost.String()}
+	if c, ok := p.OneTime.IsConst(); !ok || c != 0 {
+		resp.OneTime = p.OneTime.String()
+	}
+	for _, u := range p.Unknowns {
+		resp.Unknowns = append(resp.Unknowns, UnknownJSON{Name: u.Name, Kind: u.Kind, Source: u.Source})
+	}
+	if args != nil {
+		v, err := p.EvalAt(args)
+		if err != nil {
+			return PredictResponse{}, errBadArgs(err.Error())
+		}
+		resp.Eval = &v
+	}
+	return resp, nil
+}
+
+func (s *Server) handleBatch(r *http.Request) (any, *apiError) {
+	var req BatchRequest
+	if aerr := decodeBody(r, &req); aerr != nil {
+		return nil, aerr
+	}
+	target, aerr := resolveMachine(req.Machine, req.Spec)
+	if aerr != nil {
+		return nil, aerr
+	}
+	preds, errs := perfpredict.PredictBatchCtx(r.Context(), req.Sources, target,
+		perfpredict.BatchOptions{Workers: s.boundWorkers(req.Workers), Cache: s.seg})
+	if err := r.Context().Err(); err != nil {
+		return nil, ctxError(err)
+	}
+	resp := BatchResponse{Machine: target.Name, Results: make([]BatchItem, len(preds))}
+	for i := range preds {
+		if errs[i] != nil {
+			resp.Results[i].Error = &ErrorBody{Code: CodeBadProgram, Message: errs[i].Error()}
+			continue
+		}
+		item, aerr := buildBatchItem(preds[i], req.Args)
+		if aerr != nil {
+			resp.Results[i].Error = &ErrorBody{Code: aerr.code, Message: aerr.msg}
+			continue
+		}
+		resp.Results[i] = item
+	}
+	return resp, nil
+}
+
+// buildBatchItem is buildPredictResponse's per-slot sibling.
+func buildBatchItem(p *perfpredict.Prediction, args map[string]float64) (BatchItem, *apiError) {
+	item := BatchItem{Cost: p.Cost.String()}
+	if args != nil {
+		v, err := p.EvalAt(args)
+		if err != nil {
+			return BatchItem{}, errBadArgs(err.Error())
+		}
+		item.Eval = &v
+	}
+	return item, nil
+}
+
+func (s *Server) handleOptimize(r *http.Request) (any, *apiError) {
+	var req OptimizeRequest
+	if aerr := decodeBody(r, &req); aerr != nil {
+		return nil, aerr
+	}
+	target, aerr := resolveMachine(req.Machine, req.Spec)
+	if aerr != nil {
+		return nil, aerr
+	}
+	res, err := perfpredict.OptimizeCtx(r.Context(), req.Source, target, req.Nominal,
+		perfpredict.OptimizeOptions{
+			Workers:   s.boundWorkers(0),
+			SegCache:  s.seg,
+			NestCache: s.nest,
+			MaxNodes:  req.MaxNodes,
+			MaxDepth:  req.MaxDepth,
+		})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return nil, ctxError(err)
+		}
+		return nil, errBadProgram(err.Error())
+	}
+	return OptimizeResponse{
+		Machine:         target.Name,
+		Source:          res.Source,
+		Transformations: res.Transformations,
+		PredictedBefore: res.PredictedBefore,
+		PredictedAfter:  res.PredictedAfter,
+		Explored:        res.Explored,
+	}, nil
+}
+
+// boundWorkers resolves a request's worker ask against the server
+// cap.
+func (s *Server) boundWorkers(asked int) int {
+	if s.cfg.Workers <= 0 {
+		return asked
+	}
+	if asked <= 0 || asked > s.cfg.Workers {
+		return s.cfg.Workers
+	}
+	return asked
+}
+
+// resolveMachine picks the request's target: an inline spec when
+// given (parsed and strictly validated, 422 on any violation),
+// otherwise a registered machine name (404 when absent; default
+// POWER1). Naming both is a request-shape error. Inline-spec machines
+// share the warm caches safely — every cache key includes the machine
+// content fingerprint.
+func resolveMachine(name string, spec json.RawMessage) (*perfpredict.Target, *apiError) {
+	if len(spec) > 0 {
+		if name != "" {
+			return nil, errBadJSON("give machine or spec, not both")
+		}
+		sp, err := machine.ParseSpec(spec)
+		if err != nil {
+			return nil, errInvalidSpec(err.Error())
+		}
+		m, err := sp.Machine()
+		if err != nil {
+			return nil, errInvalidSpec(err.Error())
+		}
+		return m, nil
+	}
+	if name == "" {
+		name = "POWER1"
+	}
+	m, err := machine.Lookup(name)
+	if err != nil {
+		return nil, errUnknownMachine(err.Error())
+	}
+	return m, nil
+}
+
+// decodeBody reads and strictly decodes a JSON request body: unknown
+// fields and trailing data are 400s, and a body over the configured
+// cap is 413.
+func decodeBody(r *http.Request, dst any) *apiError {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &apiError{status: statusTooLarge, code: CodeBodyTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)}
+		}
+		return errBadJSON("reading body: " + err.Error())
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return errBadJSON(err.Error())
+	}
+	if dec.More() {
+		return errBadJSON("trailing data after JSON document")
+	}
+	return nil
+}

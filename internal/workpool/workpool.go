@@ -6,6 +6,7 @@
 package workpool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -21,8 +22,19 @@ import (
 // even when per-index costs are skewed. fn is responsible for
 // synchronizing any shared state beyond index-disjoint writes.
 func Run(n, workers int, fn func(i int)) {
+	_ = RunCtx(context.Background(), n, workers, fn)
+}
+
+// RunCtx is Run with cooperative cancellation: workers check ctx
+// before claiming each index and stop claiming once it is done, then
+// RunCtx returns ctx.Err(). Calls already in flight run to completion
+// — fn is never interrupted mid-index — so on a non-nil return some
+// unpredictable subset of indices was processed and the caller decides
+// what the partial results mean. A nil return guarantees every index
+// ran.
+func RunCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -32,9 +44,12 @@ func Run(n, workers int, fn func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -42,7 +57,7 @@ func Run(n, workers int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -52,4 +67,5 @@ func Run(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }

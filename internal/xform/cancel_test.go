@@ -1,0 +1,135 @@
+package xform
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"perfpredict/internal/aggregate"
+	"perfpredict/internal/kernels"
+	"perfpredict/internal/machine"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+)
+
+func matmulProg(t *testing.T) *source.Program {
+	t.Helper()
+	k, err := kernels.Get("matmul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := source.Parse(k.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sem.Analyze(prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestSearchCtxReturnsPromptlyOnDeadline pins the cancellation
+// contract on the matmul kernel: a search sized to run for a long
+// time must return within about one node-expansion of its context
+// expiring, with the best-so-far as a valid partial result.
+func TestSearchCtxReturnsPromptlyOnDeadline(t *testing.T) {
+	prog := matmulProg(t)
+	const deadline = 150 * time.Millisecond
+	// Far more nodes than fit in the deadline: full completion takes
+	// tens of seconds (calibrated ~5-10ms per expansion), so a prompt
+	// return can only come from the cancellation path.
+	opt := SearchOptions{Machine: machine.NewPOWER1(), MaxNodes: 1 << 20, MaxDepth: 6}
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start := time.Now()
+	res, err := SearchCtx(ctx, prog, opt)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v (explored %d), want context.DeadlineExceeded", err, res.Explored)
+	}
+	// ε covers one node expansion plus heavy CI/-race slowdown; the
+	// point is seconds-not-minutes, measured from ctx expiry.
+	const epsilon = 5 * time.Second
+	if elapsed > deadline+epsilon {
+		t.Fatalf("search returned %v after a %v deadline", elapsed, deadline)
+	}
+	// The partial result is a usable best-so-far.
+	if res.Best == nil {
+		t.Fatal("cancelled search returned no program")
+	}
+	if res.BestCost > res.InitialCost {
+		t.Errorf("partial best %v worse than initial %v", res.BestCost, res.InitialCost)
+	}
+	if res.Explored <= 0 || res.Explored >= opt.MaxNodes {
+		t.Errorf("explored %d nodes under a %v deadline", res.Explored, deadline)
+	}
+}
+
+// TestSearchCtxPreCancelled: a context that is already done stops the
+// search before the initial pricing.
+func TestSearchCtxPreCancelled(t *testing.T) {
+	prog := matmulProg(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SearchCtx(ctx, prog, SearchOptions{Machine: machine.NewPOWER1()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Best != nil {
+		t.Errorf("pre-cancelled search still produced a result: %+v", res)
+	}
+}
+
+// TestSearchCtxBackgroundMatchesSearch: threading a live context is
+// invisible — same best, same trajectory, same counters.
+func TestSearchCtxBackgroundMatchesSearch(t *testing.T) {
+	prog := matmulProg(t)
+	opt := SearchOptions{Machine: machine.NewPOWER1(), MaxNodes: 6, MaxDepth: 2}
+	plain, err := Search(prog, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := SearchCtx(context.Background(), prog, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.BestCost != ctxed.BestCost || plain.Explored != ctxed.Explored ||
+		source.PrintProgram(plain.Best) != source.PrintProgram(ctxed.Best) {
+		t.Errorf("SearchCtx(Background) diverged: %+v vs %+v", ctxed, plain)
+	}
+}
+
+// TestSearchSharedCachesWarmReuse: a second search on warm shared
+// caches returns byte-identical results and reports per-search
+// counter deltas (not cumulative totals), with the warm nest cache
+// actually hit.
+func TestSearchSharedCachesWarmReuse(t *testing.T) {
+	prog := matmulProg(t)
+	caches := aggregate.Caches{Seg: aggregate.NewSegCache(), Nest: aggregate.NewNestCache()}
+	opt := SearchOptions{Machine: machine.NewPOWER1(), MaxNodes: 6, MaxDepth: 2, Caches: caches}
+	cold, err := Search(prog, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Search(prog, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.BestCost != warm.BestCost || cold.Explored != warm.Explored ||
+		source.PrintProgram(cold.Best) != source.PrintProgram(warm.Best) {
+		t.Fatalf("warm-cache search diverged: %+v vs %+v", warm, cold)
+	}
+	if warm.NestHits == 0 {
+		t.Error("second search on warm shared caches never hit the nest cache")
+	}
+	if warm.NestMisses > cold.NestMisses {
+		t.Errorf("warm search re-priced more nests (%d) than the cold one (%d)", warm.NestMisses, cold.NestMisses)
+	}
+	// Counter deltas must be per-search: the warm run's misses cannot
+	// include the cold run's.
+	_, totalMisses := caches.Nest.Stats()
+	if warm.NestMisses >= totalMisses && cold.NestMisses > 0 {
+		t.Errorf("warm search reported cumulative misses %d (total %d) — deltas broken", warm.NestMisses, totalMisses)
+	}
+}

@@ -2,6 +2,7 @@ package xform
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -76,6 +77,16 @@ type SearchOptions struct {
 	// counters keep reporting — the baseline side of a before/after
 	// comparison. Results are identical either way.
 	DisableNestCache bool
+	// Caches are the segment and nest caches the search prices
+	// through. Nil members get fresh private instances (the default);
+	// passing warm shared caches carries priced segments and nests
+	// across searches — a long-running service reuses one pair for
+	// every request. Result counters are reported as deltas against
+	// the caches' stats at entry, so they stay per-search even on a
+	// shared instance (concurrent searches on the same caches may
+	// bleed into each other's deltas; the costs themselves never
+	// depend on cache state).
+	Caches aggregate.Caches
 	// Workers bounds the concurrency of neighbor expansion: the
 	// candidate variants of each expanded state are transformed and
 	// priced on a worker pool sharing the search's segment and nest
@@ -241,16 +252,41 @@ func (h *stateHeap) Pop() any {
 // the paper's A* proposal (the heuristic lower bound is zero). It
 // returns the cheapest variant encountered.
 func Search(p *source.Program, opt SearchOptions) (SearchResult, error) {
+	return SearchCtx(context.Background(), p, opt)
+}
+
+// SearchCtx is Search under a context: cancellation is checked once
+// per node expansion (before each frontier pop and between the
+// expansion fan-outs), so the search returns within one
+// node-expansion of ctx expiring. On cancellation it returns the best
+// state found so far — a valid, fully priced variant reachable by the
+// reported Sequence, with counters covering the work actually done —
+// alongside ctx.Err(); callers that only care about a complete search
+// should treat a non-nil error as failure.
+func SearchCtx(ctx context.Context, p *source.Program, opt SearchOptions) (SearchResult, error) {
 	opt.defaults()
 	if opt.Machine == nil {
 		return SearchResult{}, fmt.Errorf("xform: SearchOptions.Machine is required")
 	}
-	caches := aggregate.Caches{Seg: aggregate.NewSegCache()}
-	if opt.DisableNestCache {
-		caches.Nest = aggregate.NewNestCacheCounting()
-	} else {
-		caches.Nest = aggregate.NewNestCache()
+	if err := ctx.Err(); err != nil {
+		return SearchResult{}, err
 	}
+	caches := opt.Caches
+	if caches.Seg == nil {
+		caches.Seg = aggregate.NewSegCache()
+	}
+	if caches.Nest == nil {
+		if opt.DisableNestCache {
+			caches.Nest = aggregate.NewNestCacheCounting()
+		} else {
+			caches.Nest = aggregate.NewNestCache()
+		}
+	}
+	// Counter baselines: on shared warm caches the totals are
+	// cumulative across searches, so report deltas.
+	hits0, misses0 := caches.Seg.Stats()
+	nestHits0, nestMisses0 := caches.Nest.Stats()
+	tetris0 := caches.Nest.TetrisCalls()
 	initCost, err := predictWith(p, opt, caches, nil)
 	if err != nil {
 		return SearchResult{}, err
@@ -260,7 +296,11 @@ func Search(p *source.Program, opt SearchOptions) (SearchResult, error) {
 	visited := map[source.Fingerprint]bool{source.FingerprintProgram(p): true}
 	h := &stateHeap{start}
 	explored := 0
+	var ctxErr error
 	for h.Len() > 0 && explored < opt.MaxNodes {
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			break
+		}
 		cur := heap.Pop(h).(*state)
 		explored++
 		if len(cur.seq) >= opt.MaxDepth {
@@ -272,9 +312,12 @@ func Search(p *source.Program, opt SearchOptions) (SearchResult, error) {
 		// Expand neighbors in three steps — parallel transform, serial
 		// dedup, parallel pricing — then fold the survivors back into
 		// the frontier in move order, so the heap and the running best
-		// are independent of worker interleaving.
+		// are independent of worker interleaving. A cancellation inside
+		// either fan-out abandons the half-expanded neighbor set
+		// without folding it in: every state on the heap and the
+		// running best stay fully priced.
 		cands := make([]candidate, len(moves))
-		workpool.Run(len(moves), opt.Workers, func(i int) {
+		ctxErr = workpool.RunCtx(ctx, len(moves), opt.Workers, func(i int) {
 			next, err := Apply(cur.prog, moves[i])
 			if err != nil {
 				cands[i].skip = true // illegal move
@@ -283,6 +326,9 @@ func Search(p *source.Program, opt SearchOptions) (SearchResult, error) {
 			cands[i].prog = next
 			cands[i].fp = source.FingerprintProgram(next)
 		})
+		if ctxErr != nil {
+			break
+		}
 		for i := range cands {
 			if cands[i].skip {
 				continue
@@ -293,7 +339,7 @@ func Search(p *source.Program, opt SearchOptions) (SearchResult, error) {
 			}
 			visited[cands[i].fp] = true
 		}
-		workpool.Run(len(cands), opt.Workers, func(i int) {
+		ctxErr = workpool.RunCtx(ctx, len(cands), opt.Workers, func(i int) {
 			if cands[i].skip {
 				return
 			}
@@ -307,6 +353,9 @@ func Search(p *source.Program, opt SearchOptions) (SearchResult, error) {
 			}
 			cands[i].cost = c
 		})
+		if ctxErr != nil {
+			break
+		}
 		for i := range cands {
 			if cands[i].skip {
 				continue
@@ -326,10 +375,10 @@ func Search(p *source.Program, opt SearchOptions) (SearchResult, error) {
 		InitialCost: initCost,
 		Sequence:    best.seq,
 		Explored:    explored,
-		CacheHits:   hits,
-		CacheMisses: misses,
-		NestHits:    nestHits,
-		NestMisses:  nestMisses,
-		TetrisCalls: caches.Nest.TetrisCalls(),
-	}, nil
+		CacheHits:   hits - hits0,
+		CacheMisses: misses - misses0,
+		NestHits:    nestHits - nestHits0,
+		NestMisses:  nestMisses - nestMisses0,
+		TetrisCalls: caches.Nest.TetrisCalls() - tetris0,
+	}, ctxErr
 }

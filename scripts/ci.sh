@@ -42,4 +42,7 @@ go test -run '^$' -bench . -benchtime 1x ./...
 echo "== perf trajectory (non-gating)"
 sh scripts/bench.sh || echo "bench.sh failed (non-gating)" >&2
 
+echo "== service load test (non-gating)"
+sh scripts/loadtest.sh || echo "loadtest.sh failed (non-gating)" >&2
+
 echo "CI OK"

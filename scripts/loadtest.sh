@@ -1,0 +1,15 @@
+#!/bin/sh
+# Load test for the prediction service: runs the in-process load
+# generator at 2x the admission capacity for a fixed duration and
+# writes latency/throughput/shed-rate figures to BENCH_serve.json.
+# Non-gating in CI — the numbers are a trajectory, not a threshold.
+#
+# Usage: scripts/loadtest.sh [extra loadgen flags]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/predictd/loadgen -duration 2s -inflight 8 -mult 2 \
+	-out BENCH_serve.json "$@"
+
+cat BENCH_serve.json
