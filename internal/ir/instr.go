@@ -109,7 +109,8 @@ func (b *Block) String() string {
 // MaxReg returns the highest register number used, or -1 for none.
 func (b *Block) MaxReg() Reg {
 	max := NoReg
-	for _, in := range b.Instrs {
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
 		if in.Dst > max {
 			max = in.Dst
 		}
@@ -135,14 +136,33 @@ func (b *Block) MaxReg() Reg {
 // This is the "filter" of the paper's cost objects: an operation that
 // uses the result of another cannot drop past it into the bins.
 func (b *Block) Deps(mayAlias bool) [][]int {
+	return b.DepsInto(mayAlias, nil)
+}
+
+// DepsBuf is reusable storage for DepsInto: the returned slice-of-slices
+// and the arena its rows point into. A caller that prices many blocks
+// keeps one DepsBuf and amortizes the two allocations Deps would
+// otherwise make per call.
+type DepsBuf struct {
+	deps  [][]int
+	arena []int
+}
+
+// DepsInto is Deps with caller-owned result storage. The returned rows
+// alias buf's arena and are valid until the next DepsInto call with the
+// same buf; a nil buf allocates fresh storage (identical to Deps).
+func (b *Block) DepsInto(mayAlias bool, buf *DepsBuf) [][]int {
 	n := len(b.Instrs)
 	sc := depsPool.Get().(*depsScratch)
 	defer depsPool.Put(sc)
-	sc.reset(int(b.MaxReg()) + 1)
+	sc.reset()
 
-	for i, in := range b.Instrs {
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
 		for _, s := range in.Srcs {
-			if s == NoReg {
+			// A source at or past the def table's extent has no recorded
+			// producer (the table grows only when a def is seen).
+			if s < 0 || int(s) >= len(sc.def) {
 				continue
 			}
 			if p := sc.def[s]; p >= 0 {
@@ -150,9 +170,18 @@ func (b *Block) Deps(mayAlias bool) [][]int {
 			}
 		}
 		if in.Op.IsMem() {
-			addr, base := in.Addr, in.Base
+			// Intern the address strings once: every later access is an
+			// index into the id-addressed tables instead of a string-keyed
+			// map operation. The base tables are only consulted under
+			// conservative aliasing, so the base string is not even
+			// interned without it.
+			ai := sc.intern(in.Addr)
+			bi := int32(-1)
+			if mayAlias {
+				bi = sc.intern(in.Base)
+			}
 			if in.Op.IsLoad() {
-				if w, ok := sc.lastWrite[addr]; ok {
+				if w := sc.lastWrite[ai]; w >= 0 {
 					sc.add(i, w) // RAW same address
 				}
 				// Under conservative aliasing the last write to the
@@ -162,46 +191,65 @@ func (b *Block) Deps(mayAlias bool) [][]int {
 				// base one lets a possibly-aliasing store reorder
 				// around the load (found by the topo-perm invariant).
 				if mayAlias {
-					if w, ok := sc.lastBaseWrite[base]; ok {
+					if w := sc.lastBaseWrite[bi]; w >= 0 {
 						sc.add(i, w)
 					}
+					sc.lastBaseReads[bi] = append(sc.lastBaseReads[bi], i)
 				}
-				sc.lastReads[addr] = append(sc.lastReads[addr], i)
-				sc.lastBaseReads[base] = append(sc.lastBaseReads[base], i)
+				sc.lastReads[ai] = append(sc.lastReads[ai], i)
 			} else { // store
-				if w, ok := sc.lastWrite[addr]; ok {
+				if w := sc.lastWrite[ai]; w >= 0 {
 					sc.add(i, w) // WAW
 				}
-				for _, r := range sc.lastReads[addr] {
+				for _, r := range sc.lastReads[ai] {
 					sc.add(i, r) // WAR
 				}
 				if mayAlias {
-					if w, ok := sc.lastBaseWrite[base]; ok {
+					if w := sc.lastBaseWrite[bi]; w >= 0 {
 						sc.add(i, w)
 					}
-					for _, r := range sc.lastBaseReads[base] {
+					for _, r := range sc.lastBaseReads[bi] {
 						sc.add(i, r)
 					}
-					sc.lastBaseReads[base] = sc.lastBaseReads[base][:0]
+					sc.lastBaseReads[bi] = sc.lastBaseReads[bi][:0]
+					sc.lastBaseWrite[bi] = i
 				}
-				sc.lastWrite[addr] = i
-				sc.lastBaseWrite[base] = i
-				sc.lastReads[addr] = sc.lastReads[addr][:0]
+				sc.lastWrite[ai] = i
+				sc.lastReads[ai] = sc.lastReads[ai][:0]
 			}
 		}
-		if in.Op.HasDst() && in.Dst != NoReg {
+		if in.Op.HasDst() && in.Dst >= 0 {
+			for len(sc.def) <= int(in.Dst) {
+				sc.def = append(sc.def, -1)
+			}
 			sc.def[in.Dst] = i
 		}
 	}
 
 	// Bucket the edge pairs into the returned slice-of-slices through a
-	// single shared arena: two allocations total instead of one small
-	// slice per instruction with dependences.
-	deps := make([][]int, n)
-	if len(sc.edges) == 0 {
-		return deps
+	// single shared arena: two allocations total (zero on a warm buf)
+	// instead of one small slice per instruction with dependences.
+	var deps [][]int
+	var arena []int
+	if buf != nil {
+		if cap(buf.deps) < n {
+			buf.deps = make([][]int, n, n+n/4)
+		}
+		deps = buf.deps[:n]
+		for i := range deps {
+			deps[i] = nil
+		}
+		if cap(buf.arena) < len(sc.edges) {
+			buf.arena = make([]int, 0, len(sc.edges)+len(sc.edges)/4)
+		}
+		arena = buf.arena[:0]
+	} else {
+		deps = make([][]int, n)
+		if len(sc.edges) == 0 {
+			return deps
+		}
+		arena = make([]int, 0, len(sc.edges))
 	}
-	arena := make([]int, 0, len(sc.edges))
 	start := 0
 	for k := 1; k <= len(sc.edges); k++ {
 		if k == len(sc.edges) || sc.edges[k].i != sc.edges[start].i {
@@ -213,6 +261,9 @@ func (b *Block) Deps(mayAlias bool) [][]int {
 			start = k
 		}
 	}
+	if buf != nil {
+		buf.arena = arena[:0]
+	}
 	return deps
 }
 
@@ -223,37 +274,83 @@ type depEdge struct{ i, j int }
 // flat; because instructions are scanned in order, all edges of one
 // instruction are contiguous at the tail, which makes deduplication a
 // backward scan and the final bucketing a single pass.
+//
+// Address and base strings are interned to dense ids on first sight, so
+// the per-location state (last writer, pending readers) lives in
+// id-indexed slices: one map hash per string instead of a string-keyed
+// map operation per table per access.
 type depsScratch struct {
-	edges         []depEdge
-	def           []int // reg -> defining instr index, -1 if none
-	lastWrite     map[string]int
-	lastReads     map[string][]int
-	lastBaseWrite map[string]int
-	lastBaseReads map[string][]int
+	edges []depEdge
+	// def maps reg -> defining instr index (-1 if none). It grows
+	// lazily to the highest reg actually defined, so huge or sparse
+	// register numbers cost nothing and no up-front MaxReg pass is
+	// needed.
+	def []int
+
+	// The intern table persists across blocks (address strings repeat
+	// heavily between the blocks one scratch prices), so a repeat string
+	// costs one map read and no writes. Per-id state is invalidated
+	// wholesale by bumping gen: a slot whose stamp doesn't match the
+	// current generation is logically fresh and is re-initialized on
+	// first touch by intern.
+	ids           map[string]int32
+	gen           []uint32
+	curGen        uint32
+	lastWrite     []int   // location id -> last writing instr, -1 if none
+	lastBaseWrite []int   // base id -> last writing instr, -1 if none
+	lastReads     [][]int // location id -> readers since last write
+	lastBaseReads [][]int // base id -> readers since last base write
 }
+
+// depsMaxInterned bounds the persistent intern table; past it the table
+// is rebuilt from empty so a long-lived pooled scratch cannot grow
+// without bound across unrelated blocks.
+const depsMaxInterned = 1 << 12
 
 var depsPool = sync.Pool{New: func() any { return new(depsScratch) }}
 
-func (sc *depsScratch) reset(nregs int) {
+func (sc *depsScratch) reset() {
 	sc.edges = sc.edges[:0]
-	if cap(sc.def) < nregs {
-		sc.def = make([]int, nregs)
+	sc.def = sc.def[:0]
+	if sc.ids == nil || len(sc.ids) > depsMaxInterned {
+		// The id-indexed slices stay at high-water length: restarted ids
+		// land on stale slots, which the generation check re-initializes.
+		sc.ids = make(map[string]int32, 64)
 	}
-	sc.def = sc.def[:nregs]
-	for i := range sc.def {
-		sc.def[i] = -1
+	sc.curGen++
+	if sc.curGen == 0 { // wrap: stale stamps could alias the new generation
+		for i := range sc.gen {
+			sc.gen[i] = 0
+		}
+		sc.curGen = 1
 	}
-	if sc.lastWrite == nil {
-		sc.lastWrite = map[string]int{}
-		sc.lastReads = map[string][]int{}
-		sc.lastBaseWrite = map[string]int{}
-		sc.lastBaseReads = map[string][]int{}
-		return
+}
+
+// intern returns the dense id of s, assigning the next one on first
+// sight. The id-indexed tables are initialized lazily on an id's first
+// touch in the current generation — reusing high-water slice capacity —
+// so reset never walks them.
+func (sc *depsScratch) intern(s string) int32 {
+	id, ok := sc.ids[s]
+	if !ok {
+		id = int32(len(sc.ids))
+		sc.ids[s] = id
+		if int(id) >= len(sc.gen) {
+			sc.gen = append(sc.gen, 0)
+			sc.lastWrite = append(sc.lastWrite, -1)
+			sc.lastBaseWrite = append(sc.lastBaseWrite, -1)
+			sc.lastReads = append(sc.lastReads, nil)
+			sc.lastBaseReads = append(sc.lastBaseReads, nil)
+		}
 	}
-	clear(sc.lastWrite)
-	clear(sc.lastReads)
-	clear(sc.lastBaseWrite)
-	clear(sc.lastBaseReads)
+	if sc.gen[id] != sc.curGen {
+		sc.gen[id] = sc.curGen
+		sc.lastWrite[id] = -1
+		sc.lastBaseWrite[id] = -1
+		sc.lastReads[id] = sc.lastReads[id][:0]
+		sc.lastBaseReads[id] = sc.lastBaseReads[id][:0]
+	}
+	return id
 }
 
 // add records that instruction i depends on j, skipping self/forward

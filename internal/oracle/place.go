@@ -1,12 +1,15 @@
 package oracle
 
 import (
+	"math/bits"
+
 	"perfpredict/internal/machine"
 )
 
 // grid is one pipe's occupancy as a dense bitset over time slots,
 // grown on demand. It is the oracle's deliberately simple counterpart
-// to the tetris run-length slot lists.
+// to the tetris run-length slot lists; the range operations work a
+// word at a time with masks rather than bit-by-bit.
 type grid struct {
 	words []uint64
 }
@@ -19,14 +22,39 @@ func (g *grid) bit(i int) bool {
 	return g.words[w]&(1<<(uint(i)&63)) != 0
 }
 
+// maskRange visits the words overlapping [from, from+n), handing fn
+// the word index and the mask of in-range bits within that word. fn
+// returning false stops the walk early.
+func (g *grid) maskRange(from, n int, fn func(w int, mask uint64) bool) {
+	for i := from; i < from+n; {
+		w := i >> 6
+		lo := uint(i) & 63
+		span := 64 - int(lo)
+		if rest := from + n - i; rest < span {
+			span = rest
+		}
+		mask := (^uint64(0) >> (64 - uint(span))) << lo
+		if !fn(w, mask) {
+			return
+		}
+		i += span
+	}
+}
+
 // freeRange reports whether slots [from, from+n) are all empty.
 func (g *grid) freeRange(from, n int) bool {
-	for i := from; i < from+n; i++ {
-		if g.bit(i) {
+	free := true
+	g.maskRange(from, n, func(w int, mask uint64) bool {
+		if w >= len(g.words) {
+			return false // beyond stored words: all empty
+		}
+		if g.words[w]&mask != 0 {
+			free = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	return free
 }
 
 // occupyRange marks slots [from, from+n) filled.
@@ -37,16 +65,18 @@ func (g *grid) occupyRange(from, n int) {
 	for w := (from + n - 1) >> 6; w >= len(g.words); {
 		g.words = append(g.words, 0)
 	}
-	for i := from; i < from+n; i++ {
-		g.words[i>>6] |= 1 << (uint(i) & 63)
-	}
+	g.maskRange(from, n, func(w int, mask uint64) bool {
+		g.words[w] |= mask
+		return true
+	})
 }
 
 // clearRange empties slots [from, from+n) (undo of occupyRange).
 func (g *grid) clearRange(from, n int) {
-	for i := from; i < from+n; i++ {
-		g.words[i>>6] &^= 1 << (uint(i) & 63)
-	}
+	g.maskRange(from, n, func(w int, mask uint64) bool {
+		g.words[w] &^= mask
+		return true
+	})
 }
 
 // extent returns the first and last filled slots, or (-1, -1).
@@ -56,31 +86,29 @@ func (g *grid) extent() (first, last int) {
 		if word == 0 {
 			continue
 		}
-		for b := 0; b < 64; b++ {
-			if word&(1<<uint(b)) != 0 {
-				i := w<<6 + b
-				if first == -1 {
-					first = i
-				}
-				last = i
-			}
+		if first == -1 {
+			first = w<<6 + bits.TrailingZeros64(word)
 		}
+		last = w<<6 + 63 - bits.LeadingZeros64(word)
 	}
 	return first, last
 }
 
 // countFilledBelow counts filled slots in [0, upto).
 func (g *grid) countFilledBelow(upto int) int {
+	if upto <= 0 {
+		return 0
+	}
 	total := 0
 	for w, word := range g.words {
-		if word == 0 {
-			continue
+		base := w << 6
+		if base >= upto {
+			break
 		}
-		for b := 0; b < 64; b++ {
-			if word&(1<<uint(b)) != 0 && w<<6+b < upto {
-				total++
-			}
+		if rem := upto - base; rem < 64 {
+			word &= (uint64(1) << uint(rem)) - 1
 		}
+		total += bits.OnesCount64(word)
 	}
 	return total
 }

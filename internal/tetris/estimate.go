@@ -44,20 +44,29 @@ type Result struct {
 
 // estScratch is the per-call working state of Estimate, recycled
 // through a sync.Pool so the hot path allocates only what escapes into
-// the Result. The machine-derived unit tables are cached by machine
-// *content*: the pointer comparison is only the fast path, and when it
-// misses the content fingerprint decides — so pooled scratch survives
-// across distinct-but-identical Machine values (each registry Lookup
-// builds a fresh one), while a same-pointer machine whose table was
-// edited in place would still be caught had it a different address.
+// the Result. The machine-derived unit tables — including the SoA cost
+// table — are cached by machine *content*: the pointer comparison is
+// only the fast path, and when it misses the content fingerprint
+// decides — so pooled scratch survives across distinct-but-identical
+// Machine values (each registry Lookup builds a fresh one), while a
+// same-pointer machine whose table was edited in place would still be
+// caught had it a different address. All per-block slices grow to a
+// high-water mark and are resliced, never remade, so pooled scratch
+// stops reallocating across heterogeneous blocks.
 type estScratch struct {
 	mach   *machine.Machine
 	machFP source.Fingerprint
 	inst   []machine.UnitInstance
-	byKind map[machine.UnitKind][]int
+	ct     *costTable
 	place  []int
 	finish []int
-	b      bins
+	// isMem caches Instrs[i].Op.IsMem() so the dependence scan reads a
+	// dense bool instead of chasing into the instruction array; slot i
+	// is written before any later instruction reads it, so the slice is
+	// sized but never cleared.
+	isMem   []bool
+	depsBuf ir.DepsBuf
+	b       bins
 }
 
 var estPool = sync.Pool{New: func() any { return new(estScratch) }}
@@ -73,22 +82,28 @@ func Estimate(m *machine.Machine, b *ir.Block, opt Options) (Result, error) {
 	sc := estPool.Get().(*estScratch)
 	defer estPool.Put(sc)
 	bins := sc.prepare(m, opt)
-	deps := b.Deps(opt.MayAlias)
+	deps := b.DepsInto(opt.MayAlias, &sc.depsBuf)
 	sc.place = resetInts(sc.place, len(b.Instrs))
 	sc.finish = resetInts(sc.finish, len(b.Instrs))
-	place, finish := sc.place, sc.finish
+	if cap(sc.isMem) < len(b.Instrs) {
+		sc.isMem = make([]bool, len(b.Instrs))
+	}
+	place, finish, isMem := sc.place, sc.finish, sc.isMem[:len(b.Instrs)]
 	maxFinish := 0
-	for i, in := range b.Instrs {
-		seq, err := m.Lookup(in.Op)
-		if err != nil {
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		oc := sc.ct.lookup(in.Op)
+		if oc == nil {
+			_, err := m.Lookup(in.Op) // produce the canonical error
 			return Result{}, err
 		}
+		isMem[i] = in.Op.IsMem()
 		ready, dataReady := 0, 0
 		if !opt.IgnoreDeps {
 			for _, j := range deps[i] {
 				// Register (data) dependences are split from memory
 				// ordering so stores can be modelled as buffered.
-				if b.Instrs[j].Op.IsMem() {
+				if isMem[j] {
 					if finish[j] > ready {
 						ready = finish[j]
 					}
@@ -100,7 +115,7 @@ func Estimate(m *machine.Machine, b *ir.Block, opt Options) (Result, error) {
 		if !in.Op.IsStore() && dataReady > ready {
 			ready = dataReady
 		}
-		start, end, err := bins.place(seq, ready)
+		start, end, err := bins.place(oc, ready)
 		if err != nil {
 			return Result{}, fmt.Errorf("instr %d (%s): %w", i, in, err)
 		}
@@ -128,10 +143,16 @@ func Estimate(m *machine.Machine, b *ir.Block, opt Options) (Result, error) {
 }
 
 // resetInts returns s resized to n with every element zeroed, reusing
-// the backing array when it is large enough.
+// the backing array when it is large enough and growing it with
+// headroom otherwise — the high-water mark keeps a pooled scratch from
+// reallocating every time block sizes alternate.
 func resetInts(s []int, n int) []int {
 	if cap(s) < n {
-		return make([]int, n)
+		c := 2 * cap(s)
+		if c < n {
+			c = n + n/4
+		}
+		return make([]int, n, c)
 	}
 	s = s[:n]
 	for i := range s {
@@ -148,24 +169,40 @@ func (sc *estScratch) prepare(m *machine.Machine, opt Options) *bins {
 		fp := m.Fingerprint()
 		if len(sc.inst) == 0 || fp != sc.machFP {
 			sc.inst = m.Units()
-			sc.byKind = make(map[machine.UnitKind][]int, 4)
-			for i, u := range sc.inst {
-				sc.byKind[u.Kind] = append(sc.byKind[u.Kind], i)
+			sc.ct = buildCostTable(m, sc.inst)
+			n := len(sc.inst)
+			// Per-pipe state reslices from its high-water capacity so a
+			// machine switch keeps the bitmaps' word storage.
+			if cap(sc.b.slots) < n {
+				slots := make([]slotBitmap, n)
+				copy(slots, sc.b.slots[:cap(sc.b.slots)])
+				sc.b.slots = slots
+			} else {
+				sc.b.slots = sc.b.slots[:n]
 			}
-			sc.b.slots = make([]slotList, len(sc.inst))
-			sc.b.latEnd = make([]int, len(sc.inst))
-			sc.b.used = make([]bool, len(sc.inst))
+			sc.b.latEnd = resetInts(sc.b.latEnd, n)
+			if cap(sc.b.usedGen) < n {
+				sc.b.usedGen = make([]uint32, n)
+			} else {
+				sc.b.usedGen = sc.b.usedGen[:n]
+				for i := range sc.b.usedGen {
+					sc.b.usedGen[i] = 0
+				}
+			}
+			sc.b.fitGen = 0
 			sc.b.chosen = sc.b.chosen[:0]
 		}
 		sc.mach, sc.machFP = m, fp
 	}
 	b := &sc.b
-	b.m, b.opt = m, opt
-	b.inst, b.byKind = sc.inst, sc.byKind
+	b.opt = opt
+	b.inst = sc.inst
+	b.kindPipes = sc.ct.kindPipes
+	b.kinds = sc.ct.kinds
+	b.pipeKind = sc.ct.pipeKind
 	for i := range b.slots {
 		b.slots[i].reset(64)
 		b.latEnd[i] = 0
-		b.used[i] = false
 	}
 	b.dispatch = b.dispatch[:0]
 	b.top = 0
@@ -177,13 +214,15 @@ func (sc *estScratch) prepare(m *machine.Machine, opt Options) *bins {
 	return b
 }
 
-// bins is the two-dimensional virtual architecture bin of Figure 3.
+// bins is the two-dimensional virtual architecture bin of Figure 3,
+// with per-pipe occupancy held as uint64 bitmaps.
 type bins struct {
-	m      *machine.Machine
-	opt    Options
-	inst   []machine.UnitInstance
-	byKind map[machine.UnitKind][]int // indices into inst / slots
-	slots  []slotList
+	opt       Options
+	inst      []machine.UnitInstance
+	kindPipes [][]int32 // kind index (from the cost table) → pipe indices
+	kinds     []machine.UnitKind
+	pipeKind  []int32 // pipe index → kind index
+	slots     []slotBitmap
 	// latEnd[i] tracks the furthest dependent-visible latency end per
 	// pipe, so the cost block includes trailing coverable cycles.
 	latEnd   []int
@@ -191,10 +230,17 @@ type bins struct {
 	top      int   // highest noncov-occupied slot + 1
 	haveOcc  bool
 	width    int
-	// chosen and used are tryFit scratch: segment→pipe assignment and
-	// the per-pipe taken marks of the current candidate slot.
-	chosen []int
-	used   []bool
+	// chosen and usedGen are tryFit scratch: segment→pipe assignment and
+	// per-pipe taken marks for the current candidate slot. A pipe is
+	// taken iff usedGen[p] equals the current fit generation, so each
+	// probe starts clean by bumping fitGen instead of clearing the
+	// slice.
+	chosen  []int32
+	usedGen []uint32
+	fitGen  uint32
+	// kFirst/kLast/kBusy are costBlock scratch, indexed by kind; kFirst
+	// is -1 for a kind with no occupied pipe.
+	kFirst, kLast, kBusy []int
 }
 
 // dispatchAt returns the number of ops begun in cycle t.
@@ -228,18 +274,25 @@ func (b *bins) floor() int {
 // place drops an atomic-op sequence (executed serially) starting no
 // earlier than ready; returns the first op's start slot and the
 // sequence's dependent-visible end.
-func (b *bins) place(seq []machine.AtomicOp, ready int) (start, end int, err error) {
+func (b *bins) place(oc *opCosts, ready int) (start, end int, err error) {
+	if len(oc.atomLat) == 1 { // dominant case: one atomic op
+		t, err := b.placeOne(oc, 0, ready)
+		if err != nil {
+			return 0, 0, err
+		}
+		return t, t + int(oc.atomLat[0]), nil
+	}
 	cur := ready
 	start = -1
-	for _, a := range seq {
-		t, err := b.placeOne(a, cur)
+	for a := 0; a < oc.atoms(); a++ {
+		t, err := b.placeOne(oc, a, cur)
 		if err != nil {
 			return 0, 0, err
 		}
 		if start == -1 {
 			start = t
 		}
-		cur = t + a.Latency()
+		cur = t + int(oc.atomLat[a])
 	}
 	if start == -1 { // empty sequence: treat as zero-latency at ready
 		start = ready
@@ -248,86 +301,123 @@ func (b *bins) place(seq []machine.AtomicOp, ready int) (start, end int, err err
 	return start, cur, nil
 }
 
-// placeOne finds the lowest t ≥ ready where every segment of a fits
-// simultaneously (on some pipe of its kind) and the dispatch width at t
-// is not exhausted, then occupies the slots.
-func (b *bins) placeOne(a machine.AtomicOp, ready int) (int, error) {
+// placeOne finds the lowest t ≥ ready where every segment of atomic op
+// a fits simultaneously (on some pipe of its kind) and the dispatch
+// width at t is not exhausted, then occupies the slots.
+func (b *bins) placeOne(oc *opCosts, a int, ready int) (int, error) {
 	t := ready
 	if f := b.floor(); t < f {
 		t = f
 	}
+	lo, hi := oc.atomOff[a], oc.atomOff[a+1]
 	const maxIter = 1 << 20
 	for iter := 0; iter < maxIter; iter++ {
-		chosen, tNext, ok := b.tryFit(a, t)
+		tNext, ok := b.tryFit(oc, lo, hi, t)
 		if !ok {
 			t = tNext
 			continue
 		}
 		if b.width > 0 && b.dispatchAt(t) >= b.width {
+			// Skip every width-exhausted cycle in one scan: they reject
+			// any placement regardless of fit, so re-probing them one by
+			// one is wasted work.
 			t++
+			for t < len(b.dispatch) && b.dispatch[t] >= b.width {
+				t++
+			}
 			continue
 		}
 		// Commit.
-		for si, seg := range a.Segments {
-			pipe := chosen[si]
-			if seg.Noncov > 0 {
-				b.slots[pipe].occupy(t+seg.Start, seg.Noncov)
+		for s := lo; s < hi; s++ {
+			pipe := b.chosen[s-lo]
+			st, nc := int(oc.segStart[s]), int(oc.segNoncov[s])
+			if nc > 0 {
+				b.slots[pipe].occupyFit(t+st, nc)
 			}
-			if e := t + seg.End(); e > b.latEnd[pipe] {
+			if e := t + int(oc.segEnd[s]); e > b.latEnd[pipe] {
 				b.latEnd[pipe] = e
 			}
-			if occTop := t + seg.Start + seg.Noncov; seg.Noncov > 0 && occTop > b.top {
+			if occTop := t + st + nc; nc > 0 && occTop > b.top {
 				b.top = occTop
 			}
 		}
-		if a.Latency() > 0 || len(a.Segments) > 0 {
+		if oc.atomLat[a] > 0 || hi > lo {
 			b.haveOcc = true
 		}
 		b.incDispatch(t)
 		return t, nil
 	}
-	return 0, fmt.Errorf("tetris: no placement found for %s", a.Name)
+	return 0, fmt.Errorf("tetris: no placement found for %s", oc.names[a])
 }
 
-// tryFit checks whether every segment fits at base time t; on failure
-// it returns the next candidate t to try. chosen maps segment index to
-// pipe index; it aliases scratch storage valid until the next call.
-func (b *bins) tryFit(a machine.AtomicOp, t int) (chosen []int, tNext int, ok bool) {
-	if cap(b.chosen) < len(a.Segments) {
-		b.chosen = make([]int, len(a.Segments))
+// tryFit checks whether every segment in [lo, hi) fits at base time t;
+// on failure it returns the next candidate t to try. On success the
+// segment→pipe assignment is left in b.chosen[:hi-lo].
+func (b *bins) tryFit(oc *opCosts, lo, hi int32, t int) (tNext int, ok bool) {
+	nseg := int(hi - lo)
+	if cap(b.chosen) < nseg {
+		b.chosen = make([]int32, nseg)
 	}
-	chosen = b.chosen[:len(a.Segments)]
-	for i := range b.used {
-		b.used[i] = false
+	chosen := b.chosen[:nseg]
+	b.chosen = chosen
+	b.fitGen++
+	if b.fitGen == 0 { // wrap: stale marks could alias the new generation
+		for i := range b.usedGen {
+			b.usedGen[i] = 0
+		}
+		b.fitGen = 1
 	}
+	g := b.fitGen
+	slots, usedGen, kindPipes := b.slots, b.usedGen, b.kindPipes
+	segKind, segStart, segNoncov := oc.segKind, oc.segStart, oc.segNoncov
 	bump := t + 1
-	for si, seg := range a.Segments {
-		pipes := b.byKind[seg.Unit]
-		found := -1
+	for s := lo; s < hi; s++ {
+		pipes := kindPipes[segKind[s]]
+		st, nc := int(segStart[s]), int(segNoncov[s])
+		found := int32(-1)
 		bestNext := -1
-		for _, p := range pipes {
-			if b.used[p] {
-				continue
+		if nc == 1 { // dominant case: probe one bit, no call
+			slot := t + st
+			wi := slot >> 6
+			mask := uint64(1) << (uint(slot) & 63)
+			for _, p := range pipes {
+				if usedGen[p] == g {
+					continue
+				}
+				if sw := slots[p].words; wi >= len(sw) || sw[wi]&mask == 0 {
+					found = p
+					break
+				}
+				nf := slots[p].nextFitQuick(slot, 1) - st
+				if bestNext == -1 || nf < bestNext {
+					bestNext = nf
+				}
 			}
-			if seg.Noncov == 0 || b.slots[p].free(t+seg.Start, seg.Noncov) {
-				found = p
-				break
-			}
-			nf := b.slots[p].nextFit(t+seg.Start, seg.Noncov) - seg.Start
-			if bestNext == -1 || nf < bestNext {
-				bestNext = nf
+		} else {
+			for _, p := range pipes {
+				if usedGen[p] == g {
+					continue
+				}
+				if nc == 0 || slots[p].freeQuick(t+st, nc) {
+					found = p
+					break
+				}
+				nf := slots[p].nextFitQuick(t+st, nc) - st
+				if bestNext == -1 || nf < bestNext {
+					bestNext = nf
+				}
 			}
 		}
 		if found == -1 {
 			if bestNext > bump {
 				bump = bestNext
 			}
-			return nil, bump, false
+			return bump, false
 		}
-		b.used[found] = true
-		chosen[si] = found
+		usedGen[found] = g
+		chosen[s-lo] = found
 	}
-	return chosen, 0, true
+	return 0, true
 }
 
 // extent returns the lowest occupied slot and the highest
@@ -349,27 +439,52 @@ func (b *bins) extent() (lo, hi int) {
 	return lo, hi
 }
 
-// costBlock summarizes the occupied region (Figure 8).
+// costBlock summarizes the occupied region (Figure 8). Per-pipe extents
+// are aggregated into per-kind rows through the dense kind indices, so
+// the result maps are written exactly once per occupied kind instead of
+// hashed on every pipe.
 func (b *bins) costBlock(lo, hi int) CostBlock {
-	cb := CostBlock{
-		Height: hi - lo,
-		First:  map[machine.UnitKind]int{},
-		Last:   map[machine.UnitKind]int{},
-		Busy:   map[machine.UnitKind]int{},
+	nk := len(b.kinds)
+	b.kFirst = resetInts(b.kFirst, nk)
+	b.kLast = resetInts(b.kLast, nk)
+	b.kBusy = resetInts(b.kBusy, nk)
+	for k := 0; k < nk; k++ {
+		b.kFirst[k] = -1
 	}
-	for i, u := range b.inst {
+	for i := range b.slots {
 		f, l := b.slots[i].extent()
 		if f < 0 {
 			continue
 		}
+		k := b.pipeKind[i]
 		rf, rl := f-lo, l-lo
-		if cur, ok := cb.First[u.Kind]; !ok || rf < cur {
-			cb.First[u.Kind] = rf
+		if b.kFirst[k] < 0 {
+			b.kFirst[k] = rf
+			b.kLast[k] = rl
+		} else {
+			if rf < b.kFirst[k] {
+				b.kFirst[k] = rf
+			}
+			if rl > b.kLast[k] {
+				b.kLast[k] = rl
+			}
 		}
-		if cur, ok := cb.Last[u.Kind]; !ok || rl > cur {
-			cb.Last[u.Kind] = rl
+		b.kBusy[k] += b.slots[i].filledCount(hi)
+	}
+	cb := CostBlock{
+		Height: hi - lo,
+		First:  make(map[machine.UnitKind]int, nk),
+		Last:   make(map[machine.UnitKind]int, nk),
+		Busy:   make(map[machine.UnitKind]int, nk),
+	}
+	for k := 0; k < nk; k++ {
+		if b.kFirst[k] < 0 {
+			continue
 		}
-		cb.Busy[u.Kind] += b.slots[i].filledCount(hi)
+		kind := b.kinds[k]
+		cb.First[kind] = b.kFirst[k]
+		cb.Last[kind] = b.kLast[k]
+		cb.Busy[kind] = b.kBusy[k]
 	}
 	return cb
 }

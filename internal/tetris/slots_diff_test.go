@@ -1,0 +1,215 @@
+package tetris
+
+// Differential suite for the slot-occupancy kernel: every operation of
+// the bitmap implementation must be byte-identical to the retired
+// run-length (Figure 4) implementation — return values, growth
+// behaviour (which Encode's trailing empty run exposes), renders, and
+// internal invariants — over both seeded sequences and fuzzed ones.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// diffPair drives both implementations in lockstep and fails on any
+// divergence.
+type diffPair struct {
+	t  *testing.T
+	bm *slotBitmap
+	rl *slotList
+}
+
+func newDiffPair(t *testing.T, capacity int) *diffPair {
+	return &diffPair{t: t, bm: newSlotBitmap(capacity), rl: newSlotList(capacity)}
+}
+
+func (d *diffPair) free(from, n int) bool {
+	gb, gr := d.bm.free(from, n), d.rl.free(from, n)
+	if gb != gr {
+		d.t.Fatalf("free(%d,%d): bitmap=%v runlength=%v\nbm: %s\nrl: %s",
+			from, n, gb, gr, d.bm.render(from+n+8), d.rl.render(from+n+8))
+	}
+	d.check()
+	return gb
+}
+
+func (d *diffPair) nextFit(from, n int) int {
+	gb, gr := d.bm.nextFit(from, n), d.rl.nextFit(from, n)
+	if gb != gr {
+		d.t.Fatalf("nextFit(%d,%d): bitmap=%d runlength=%d\nbm: %s\nrl: %s",
+			from, n, gb, gr, d.bm.render(gb+n+8), d.rl.render(gr+n+8))
+	}
+	d.check()
+	return gb
+}
+
+func (d *diffPair) occupy(from, n int) {
+	d.bm.occupy(from, n)
+	d.rl.occupy(from, n)
+	d.check()
+}
+
+func (d *diffPair) check() {
+	d.t.Helper()
+	if d.bm.size != d.rl.size {
+		d.t.Fatalf("size: bitmap=%d runlength=%d", d.bm.size, d.rl.size)
+	}
+	fb, lb := d.bm.extent()
+	fr, lr := d.rl.extent()
+	if fb != fr || lb != lr {
+		d.t.Fatalf("extent: bitmap=(%d,%d) runlength=(%d,%d)", fb, lb, fr, lr)
+	}
+	for _, upto := range []int{1, 7, 63, 64, 65, d.bm.size, d.bm.size + 9} {
+		if cb, cr := d.bm.filledCount(upto), d.rl.filledCount(upto); cb != cr {
+			d.t.Fatalf("filledCount(%d): bitmap=%d runlength=%d", upto, cb, cr)
+		}
+	}
+	if eb, er := d.bm.Encode(d.bm.size), d.rl.Encode(d.rl.size); !intsEqual(eb, er) {
+		d.t.Fatalf("Encode(size=%d):\nbitmap    = %v\nrunlength = %v", d.bm.size, eb, er)
+	}
+	if rb, rr := d.bm.render(d.bm.size), d.rl.render(d.rl.size); rb != rr {
+		d.t.Fatalf("render:\nbitmap    = %s\nrunlength = %s", rb, rr)
+	}
+	if err := d.bm.checkInvariants(); err != nil {
+		d.t.Fatalf("bitmap invariants: %v", err)
+	}
+	if err := d.rl.checkInvariants(); err != nil {
+		d.t.Fatalf("runlength invariants: %v", err)
+	}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSlotBitmapMatchesRunLengthSeeded pins hand-picked word-boundary
+// and growth cases: single-bit ops at 0/63/64, ranges crossing one and
+// several word boundaries, exact 64-slot ranges, and occupies far past
+// the initial 64-slot capacity.
+func TestSlotBitmapMatchesRunLengthSeeded(t *testing.T) {
+	type op struct {
+		kind    string
+		from, n int
+	}
+	cases := []struct {
+		name string
+		cap  int
+		ops  []op
+	}{
+		{"single-bits", 64, []op{
+			{"occupy", 0, 1}, {"occupy", 63, 1}, {"occupy", 64, 1},
+			{"free", 0, 1}, {"free", 1, 62}, {"nextFit", 0, 1}, {"nextFit", 0, 70},
+		}},
+		{"word-straddle", 64, []op{
+			{"occupy", 60, 8}, {"free", 59, 2}, {"free", 68, 4},
+			{"nextFit", 0, 60}, {"nextFit", 0, 61}, {"nextFit", 61, 3},
+		}},
+		{"exact-word", 128, []op{
+			{"occupy", 64, 64}, {"free", 0, 64}, {"free", 63, 2},
+			{"nextFit", 0, 64}, {"nextFit", 1, 64}, {"nextFit", 70, 5},
+		}},
+		{"multi-word-span", 64, []op{
+			{"occupy", 10, 200}, {"free", 0, 10}, {"free", 209, 1}, {"free", 210, 1},
+			{"nextFit", 0, 11}, {"nextFit", 5, 6}, {"nextFit", 100, 1},
+		}},
+		{"growth-past-capacity", 16, []op{
+			{"occupy", 100, 10}, {"occupy", 500, 64}, {"nextFit", 0, 400},
+			{"free", 110, 390}, {"occupy", 110, 390}, {"nextFit", 0, 1},
+		}},
+		{"checkerboard", 64, []op{
+			{"occupy", 0, 2}, {"occupy", 4, 2}, {"occupy", 8, 2}, {"occupy", 12, 2},
+			{"nextFit", 0, 2}, {"nextFit", 0, 3}, {"nextFit", 1, 2}, {"free", 2, 2},
+		}},
+		{"fill-then-tail-growth", 8, []op{
+			{"occupy", 0, 8}, {"nextFit", 0, 4}, {"occupy", 8, 8}, {"nextFit", 0, 64},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := newDiffPair(t, tc.cap)
+			for _, o := range tc.ops {
+				switch o.kind {
+				case "occupy":
+					d.occupy(o.from, o.n)
+				case "free":
+					d.free(o.from, o.n)
+				case "nextFit":
+					d.nextFit(o.from, o.n)
+				}
+			}
+		})
+	}
+}
+
+// TestSlotBitmapMatchesRunLengthRandom runs long random op sequences —
+// the same shape the fuzz target uses, but with a fixed seed sweep so
+// CI exercises it without the fuzz engine.
+func TestSlotBitmapMatchesRunLengthRandom(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		capacity := 1 + r.Intn(130)
+		d := newDiffPair(t, capacity)
+		for i := 0; i < 120; i++ {
+			from, n := r.Intn(700), 1+r.Intn(90)
+			switch r.Intn(3) {
+			case 0:
+				if d.free(from, n) {
+					d.occupy(from, n)
+				}
+			case 1:
+				at := d.nextFit(from, n)
+				if r.Intn(2) == 0 {
+					d.occupy(at, n)
+				}
+			default:
+				d.free(from, n)
+			}
+		}
+	}
+}
+
+// FuzzSlotOccupancy interprets the fuzz input as an op sequence over
+// both implementations: byte triples (opcode, from, n) where occupy is
+// only applied when both report the range free. Any divergence in
+// results, sizes, Figure 4 encodings, or structural invariants fails.
+func FuzzSlotOccupancy(f *testing.F) {
+	f.Add([]byte{0, 3, 4, 1, 0, 3, 2, 0, 4})
+	f.Add([]byte{0, 60, 8, 1, 59, 2, 2, 61, 3})
+	f.Add([]byte{0, 255, 64, 2, 0, 255, 1, 100, 10})
+	f.Add([]byte{0, 0, 64, 0, 64, 64, 2, 0, 65})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		// The first byte seeds the initial capacity so growth past (and
+		// below) the 64-slot default is explored.
+		capacity := 1 + int(data[0])
+		data = data[1:]
+		bm := newSlotBitmap(capacity)
+		rl := newSlotList(capacity)
+		d := &diffPair{t: t, bm: bm, rl: rl}
+		for len(data) >= 3 {
+			op, from, n := data[0]%3, int(data[1])*3, 1+int(data[2])%96
+			data = data[3:]
+			switch op {
+			case 0:
+				if d.free(from, n) {
+					d.occupy(from, n)
+				}
+			case 1:
+				at := d.nextFit(from, n)
+				d.occupy(at, n)
+			default:
+				d.free(from, n)
+			}
+		}
+	})
+}

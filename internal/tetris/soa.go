@@ -1,0 +1,102 @@
+package tetris
+
+import (
+	"perfpredict/internal/ir"
+	"perfpredict/internal/machine"
+)
+
+// opCosts is the struct-of-arrays rendering of one basic operation's
+// atomic expansion. The machine table's []AtomicOp → []Segment layout
+// makes tryFit pointer-hop across small heap objects and re-hash the
+// unit-kind string for every probe; here the inner fit loop streams
+// four parallel int32 slices instead, and unit kinds are pre-resolved
+// to indices into the bins' per-kind pipe lists. Atomic op a's segments
+// occupy indices [atomOff[a], atomOff[a+1]) of the segment arrays.
+type opCosts struct {
+	atomOff []int32  // len = atoms+1, prefix offsets into the seg arrays
+	atomLat []int32  // dependent-visible latency of each atomic op
+	names   []string // atomic op names, for error messages only
+
+	segKind   []int32 // index into costTable.kindPipes
+	segStart  []int32
+	segNoncov []int32
+	segEnd    []int32 // Start + Noncov + Cov
+}
+
+// atoms returns the number of atomic ops in the expansion.
+func (oc *opCosts) atoms() int { return len(oc.atomOff) - 1 }
+
+// costTable is the SoA form of one machine's atomic operation cost
+// table plus the unit-kind → pipe-index mapping, built once per machine
+// content and cached in the estimator scratch. ir.Op values are small
+// dense integers, so the op → costs lookup is a slice index rather than
+// a map access.
+type costTable struct {
+	opIdx     []int32 // op → index into costs; -1 (or out of range) if unmapped
+	costs     []opCosts
+	kinds     []machine.UnitKind
+	kindPipes [][]int32 // kind index → pipe indices (into bins.slots), in machine.Units order
+	pipeKind  []int32   // pipe index → kind index, for cost-block aggregation
+}
+
+// lookup returns the cost object of op, or nil if the machine's table
+// has no mapping for it.
+func (ct *costTable) lookup(op ir.Op) *opCosts {
+	if int(op) < len(ct.opIdx) && op >= 0 {
+		if ci := ct.opIdx[op]; ci >= 0 {
+			return &ct.costs[ci]
+		}
+	}
+	return nil
+}
+
+// buildCostTable flattens m's table. Unit kinds that appear in cost
+// segments but have no pipes on the machine get an empty pipe list, so
+// placement fails with the same "no placement found" error the
+// map-based lookup produced.
+func buildCostTable(m *machine.Machine, inst []machine.UnitInstance) *costTable {
+	maxOp := ir.Op(-1)
+	for op := range m.Table {
+		if op > maxOp {
+			maxOp = op
+		}
+	}
+	ct := &costTable{opIdx: make([]int32, maxOp+1)}
+	for i := range ct.opIdx {
+		ct.opIdx[i] = -1
+	}
+	kindIdx := make(map[machine.UnitKind]int32, 4)
+	kindOf := func(k machine.UnitKind) int32 {
+		ki, ok := kindIdx[k]
+		if !ok {
+			ki = int32(len(ct.kinds))
+			kindIdx[k] = ki
+			ct.kinds = append(ct.kinds, k)
+			ct.kindPipes = append(ct.kindPipes, nil)
+		}
+		return ki
+	}
+	ct.pipeKind = make([]int32, len(inst))
+	for i, u := range inst {
+		ki := kindOf(u.Kind)
+		ct.kindPipes[ki] = append(ct.kindPipes[ki], int32(i))
+		ct.pipeKind[i] = ki
+	}
+	for op, seq := range m.Table {
+		oc := opCosts{atomOff: make([]int32, 1, len(seq)+1)}
+		for _, a := range seq {
+			for _, s := range a.Segments {
+				oc.segKind = append(oc.segKind, kindOf(s.Unit))
+				oc.segStart = append(oc.segStart, int32(s.Start))
+				oc.segNoncov = append(oc.segNoncov, int32(s.Noncov))
+				oc.segEnd = append(oc.segEnd, int32(s.End()))
+			}
+			oc.atomOff = append(oc.atomOff, int32(len(oc.segKind)))
+			oc.atomLat = append(oc.atomLat, int32(a.Latency()))
+			oc.names = append(oc.names, a.Name)
+		}
+		ct.opIdx[op] = int32(len(ct.costs))
+		ct.costs = append(ct.costs, oc)
+	}
+	return ct
+}

@@ -1,33 +1,66 @@
 #!/bin/sh
-# Perf-trajectory recorder: runs the search/batch benchmarks with
-# -benchmem and writes BENCH_optimize.json (one JSON object per
-# benchmark line, plus the raw go-test output next to it in
-# BENCH_optimize.txt). Non-gating — failures here should not fail CI,
-# only lose a data point.
+# Perf-trajectory recorder: runs the search/batch benchmarks and the
+# Tetris kernel microbenchmarks with -benchmem and writes
+# BENCH_optimize.json / BENCH_tetris.json (one JSON object per
+# benchmark, plus the raw go-test output next to each in a .txt).
+# Non-gating — failures here should not fail CI, only lose a data
+# point.
 #
-# Usage: scripts/bench.sh [benchtime]   (from anywhere; default 1x)
+# The Tetris suite runs -count times and records the MINIMUM of each
+# metric across runs: on a noisy single-core box the minimum is the
+# robust "how fast can this code go" statistic, and it is what
+# scripts/tetris_regress.sh compares fresh runs against.
+#
+# Usage: scripts/bench.sh [benchtime] [tetris_benchtime] [tetris_count]
+#        (from anywhere; defaults 1x, 500x, 6)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 benchtime="${1:-1x}"
-out_json="BENCH_optimize.json"
-out_txt="BENCH_optimize.txt"
+tetris_benchtime="${2:-500x}"
+tetris_count="${3:-6}"
+
+# to_json FILE: convert `BenchmarkName N value unit ...` lines to a
+# JSON array, folding repeated names (from -count) to the per-metric
+# minimum. iterations reports the max seen.
+to_json() {
+	awk '
+	/^Benchmark/ {
+		name = $1
+		if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+		if ($2 + 0 > iters[name]) iters[name] = $2 + 0
+		for (i = 3; i + 1 <= NF; i += 2) {
+			unit = $(i + 1); v = $i + 0
+			key = name SUBSEP unit
+			if (!(key in val) || v < val[key]) val[key] = v
+			if (!(name SUBSEP unit in useen)) {
+				units[name] = units[name] (units[name] ? SUBSEP : "") unit
+				useen[name, unit] = 1
+			}
+		}
+	}
+	END {
+		print "["
+		for (j = 0; j < n; j++) {
+			name = order[j]
+			printf "  {\"name\":\"%s\",\"iterations\":%d", name, iters[name]
+			m = split(units[name], us, SUBSEP)
+			for (k = 1; k <= m; k++)
+				printf ",\"%s\":%s", us[k], val[name SUBSEP us[k]]
+			printf "}%s\n", (j < n - 1) ? "," : ""
+		}
+		print "]"
+	}
+	' "$1"
+}
 
 go test -run '^$' -bench 'BenchmarkOptimize|BenchmarkPredictBatch' \
-	-benchtime "$benchtime" -benchmem . | tee "$out_txt"
+	-benchtime "$benchtime" -benchmem . | tee BENCH_optimize.txt
+to_json BENCH_optimize.txt >BENCH_optimize.json
+echo "wrote BENCH_optimize.json"
 
-# Convert `BenchmarkName  N  value unit  value unit ...` lines to JSON.
-awk '
-BEGIN { print "[" }
-/^Benchmark/ {
-	if (n++) printf ",\n"
-	printf "  {\"name\":\"%s\",\"iterations\":%s", $1, $2
-	for (i = 3; i + 1 <= NF; i += 2)
-		printf ",\"%s\":%s", $(i + 1), $i
-	printf "}"
-}
-END { print "\n]" }
-' "$out_txt" >"$out_json"
-
-echo "wrote $out_json"
+go test -run '^$' -bench 'BenchmarkTetris' -benchtime "$tetris_benchtime" \
+	-count "$tetris_count" -benchmem ./internal/tetris | tee BENCH_tetris.txt
+to_json BENCH_tetris.txt >BENCH_tetris.json
+echo "wrote BENCH_tetris.json"

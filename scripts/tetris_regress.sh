@@ -1,0 +1,70 @@
+#!/bin/sh
+# Non-gating Tetris kernel regression report: reruns the Tetris
+# microbenchmarks and compares fresh min-of-N ns/op against the floor
+# committed in BENCH_tetris.json. Prints a per-benchmark verdict
+# (slower runs are flagged, not failed — single-core CI boxes jitter
+# ±15%, so this is a trend report, not a gate) and ALWAYS exits 0.
+#
+# Usage: scripts/tetris_regress.sh [benchtime] [count]   (defaults 200x, 3)
+set -u
+
+cd "$(dirname "$0")/.."
+
+floor="BENCH_tetris.json"
+if [ ! -f "$floor" ]; then
+	echo "tetris_regress: no committed $floor; run scripts/bench.sh first" >&2
+	exit 0
+fi
+
+benchtime="${1:-200x}"
+count="${2:-3}"
+fresh=$(mktemp)
+trap 'rm -f "$fresh"' EXIT
+
+if ! go test -run '^$' -bench 'BenchmarkTetris' -benchtime "$benchtime" \
+	-count "$count" ./internal/tetris >"$fresh" 2>&1; then
+	echo "tetris_regress: bench run failed (non-gating):" >&2
+	cat "$fresh" >&2
+	exit 0
+fi
+
+# Fold the fresh run to min ns/op per name, join with the committed
+# floor, and report the ratio. >1.25x over floor is flagged as a
+# possible regression.
+awk -v floor="$floor" '
+BEGIN {
+	while ((getline line <floor) > 0) {
+		if (match(line, /"name":"[^"]+"/)) {
+			name = substr(line, RSTART + 8, RLENGTH - 9)
+			if (match(line, /"ns\/op":[0-9.]+/))
+				base[name] = substr(line, RSTART + 8, RLENGTH - 8) + 0
+		}
+	}
+	close(floor)
+}
+/^Benchmark/ {
+	v = $3 + 0
+	if (!($1 in min) || v < min[$1]) min[$1] = v
+	if (!($1 in seen)) { order[n++] = $1; seen[$1] = 1 }
+}
+END {
+	flagged = 0
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		if (!(name in base)) {
+			printf "  %-60s %12.0f ns/op  (no committed floor)\n", name, min[name]
+			continue
+		}
+		r = min[name] / base[name]
+		tag = (r > 1.25) ? "  <-- possible regression" : ""
+		if (r > 1.25) flagged++
+		printf "  %-60s %12.0f ns/op  floor %12.0f  x%.2f%s\n", name, min[name], base[name], r, tag
+	}
+	if (flagged)
+		printf "tetris_regress: %d benchmark(s) above 1.25x floor (non-gating)\n", flagged
+	else
+		print "tetris_regress: all benchmarks within 1.25x of committed floor"
+}
+' "$fresh"
+
+exit 0
