@@ -2,13 +2,41 @@ package perfpredict
 
 import (
 	"context"
+	"encoding/json"
 
 	"perfpredict/internal/aggregate"
+	"perfpredict/internal/resultcache"
 	"perfpredict/internal/sem"
 	"perfpredict/internal/source"
 	"perfpredict/internal/symexpr"
 	"perfpredict/internal/xform"
 )
+
+// PredictOptions tune PredictCtx. The zero value reproduces Predict.
+type PredictOptions struct {
+	// Aggregate overrides the aggregation options; nil uses the
+	// defaults (the same ones Predict uses).
+	Aggregate *aggregate.Options
+	// Cache is a warm shared segment cache; nil prices privately.
+	// Costs never depend on cache state, so results are
+	// byte-identical either way.
+	Cache *SegmentCache
+}
+
+// PredictCtx is Predict under a context with service-grade knobs: the
+// single-program form of PredictBatchCtx. ctx is checked before the
+// (uninterruptible, milliseconds-scale) parse/analyze/aggregate
+// pipeline runs.
+func PredictCtx(ctx context.Context, src string, target *Target, opt PredictOptions) (*Prediction, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	aopt := aggregate.DefaultOptions()
+	if opt.Aggregate != nil {
+		aopt = *opt.Aggregate
+	}
+	return predictWithCache(src, target, aopt, opt.Cache)
+}
 
 // NestCache memoizes whole loop-nest pricings across transformation
 // searches (the layer above SegmentCache). Safe for concurrent use;
@@ -36,6 +64,19 @@ type OptimizeOptions struct {
 	// defaults of 40 states / depth 3).
 	MaxNodes int
 	MaxDepth int
+	// Results, when non-nil, caches finished OptimizeResults by
+	// content address (program structure × machine content × nominal
+	// point × bounds). A hit skips the search entirely and returns
+	// the cached result with the four cache counters zeroed — the
+	// counters describe pricing work performed, and a hit performs
+	// none. Only complete searches are cached; cancelled or failed
+	// ones never are.
+	Results ResultBackend
+	// Progress, when non-nil, is called after every search-node
+	// expansion with the nodes expanded so far and the incumbent
+	// cost. It runs on the search goroutine; keep it fast. Cache hits
+	// (Results) report no progress — no search runs.
+	Progress func(explored int, best float64)
 }
 
 // OptimizeCtx is Optimize under a context with service-grade knobs:
@@ -52,6 +93,19 @@ func OptimizeCtx(ctx context.Context, src string, target *Target, nominal map[st
 	if _, err := sem.Analyze(prog); err != nil {
 		return OptimizeResult{}, err
 	}
+	var rkey resultcache.Key
+	if opt.Results != nil {
+		rkey = resultcache.OptimizeKey(source.FingerprintProgram(prog), target.Fingerprint(),
+			nominal, opt.MaxNodes, opt.MaxDepth)
+		if b, ok := opt.Results.Get(rkey); ok {
+			var out OptimizeResult
+			if err := json.Unmarshal(b, &out); err == nil {
+				return out, nil
+			}
+			// An undecodable entry (foreign writer, version skew) is
+			// treated as a miss; the fresh result overwrites it below.
+		}
+	}
 	nom := map[symexpr.Var]float64{}
 	for k, v := range nominal {
 		nom[symexpr.Var(k)] = v
@@ -63,6 +117,7 @@ func OptimizeCtx(ctx context.Context, src string, target *Target, nominal map[st
 		MaxNodes: opt.MaxNodes,
 		MaxDepth: opt.MaxDepth,
 		Caches:   aggregate.Caches{Seg: opt.SegCache, Nest: opt.NestCache},
+		Progress: opt.Progress,
 	})
 	if res.Best == nil {
 		return OptimizeResult{}, serr
@@ -79,6 +134,17 @@ func OptimizeCtx(ctx context.Context, src string, target *Target, nominal map[st
 	}
 	for _, mv := range res.Sequence {
 		out.Transformations = append(out.Transformations, mv.String())
+	}
+	if opt.Results != nil && serr == nil {
+		// Zero the counters before caching: they are a property of
+		// this call's cache state, not of the (program, machine,
+		// options) identity the key names.
+		c := out
+		c.SegCacheHits, c.SegCacheMisses = 0, 0
+		c.NestCacheHits, c.NestsRepriced = 0, 0
+		if b, err := json.Marshal(c); err == nil {
+			opt.Results.Put(rkey, b)
+		}
 	}
 	return out, serr
 }

@@ -1,0 +1,27 @@
+package perfpredict
+
+import (
+	"perfpredict/internal/resultcache"
+)
+
+// ResultBackend is the pluggable store behind the content-addressed
+// result cache: finished answers keyed by what they are a function of
+// (program structure × machine content × options), not by request
+// identity. Implementations must be safe for concurrent use. The
+// serving layer fronts every endpoint with one; OptimizeCtx accepts
+// one directly (OptimizeOptions.Results).
+type ResultBackend = resultcache.Backend
+
+// ResultCache is the in-process ResultBackend: a sharded LRU with
+// byte-size accounting. One instance may front every machine and
+// request kind — keys are content fingerprints, so distinct inputs
+// cannot alias. See NewResultCache.
+type ResultCache = resultcache.Cache
+
+// ResultCacheStats is a point-in-time counter snapshot of a
+// ResultCache (hits, misses, evictions, occupancy).
+type ResultCacheStats = resultcache.Stats
+
+// NewResultCache creates a result cache bounded to roughly maxBytes
+// of stored values; maxBytes <= 0 selects the 64 MiB default.
+func NewResultCache(maxBytes int64) *ResultCache { return resultcache.New(maxBytes) }

@@ -2,8 +2,9 @@
 // handler stack in-process (no port juggling, no network noise),
 // drives it with a mixed predict/batch/optimize workload at a
 // concurrency deliberately above the admission capacity, and writes a
-// BENCH_serve.json datapoint (RPS, p50/p99 latency, shed rate) in the
-// same shape scripts/bench.sh uses for the optimizer trajectory.
+// BENCH_serve.json datapoint (RPS, p50/p99 latency, shed rate, and a
+// cold/warm result-cache split) in the same shape scripts/bench.sh
+// uses for the optimizer trajectory.
 //
 //	loadgen [-duration 2s] [-inflight 8] [-mult 2] [-out BENCH_serve.json]
 //
@@ -11,6 +12,12 @@
 // admission bound, so the run also measures the service's
 // load-shedding behavior at 2× capacity: shed requests come back as
 // fast 503s and are reported separately from served latencies.
+//
+// The cache phase drives a fixed set of uniquely keyed requests twice
+// against a fresh server: the first pass is all result-cache misses
+// (full parse/analyze/price/search per request), the second pass is
+// the identical requests served as cache hits. cold_rps/warm_rps and
+// their p50s quantify what the content-addressed cache buys.
 package main
 
 import (
@@ -100,9 +107,10 @@ func main() {
 	elapsed := time.Since(startAll).Seconds()
 
 	burstShed, burstErrs := burstPhase(*inflight, concurrency)
+	cold, warm, cacheErrs := cachePhase(*inflight)
 
 	total := ok.Load() + shed.Load() + errs.Load()
-	errs.Add(burstErrs)
+	errs.Add(burstErrs + cacheErrs)
 	report := map[string]any{
 		"duration_s":      elapsed,
 		"concurrency":     concurrency,
@@ -118,6 +126,11 @@ func main() {
 		"burst_sent":      concurrency,
 		"burst_shed":      burstShed,
 		"burst_shed_rate": rate(burstShed, int64(concurrency)),
+		"cold_rps":        cold.rps,
+		"cold_p50_ms":     cold.p50 * 1000,
+		"warm_rps":        warm.rps,
+		"warm_p50_ms":     warm.p50 * 1000,
+		"warm_speedup":    warm.rps / cold.rps,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -198,6 +211,127 @@ func burstPhase(inflight, concurrency int) (shed, errCount int64) {
 	close(gate)
 	wg.Wait()
 	return shedN.Load(), errN.Load()
+}
+
+// phaseResult summarizes one pass of the cache phase.
+type phaseResult struct {
+	rps float64
+	p50 float64 // seconds
+}
+
+// cachePhase measures the result cache head-on: a fixed set of
+// uniquely keyed requests (distinct args per request, so nothing
+// collides) is driven twice against a fresh server. Pass one is all
+// misses — every request runs the full pipeline; pass two repeats the
+// identical requests as pure cache hits. The per-pass RPS and p50
+// bracket the cache's effect with the HTTP plumbing held constant.
+func cachePhase(inflight int) (cold, warm phaseResult, errCount int64) {
+	srv := serve.New(serve.Config{MaxInflight: inflight, Timeout: 30 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	reqs := buildCacheWorkload()
+	concurrency := inflight
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	client := ts.Client()
+	if tr, ok := client.Transport.(*http.Transport); ok {
+		tr = tr.Clone()
+		tr.MaxIdleConns = concurrency * 2
+		tr.MaxIdleConnsPerHost = concurrency * 2
+		client = &http.Client{Transport: tr}
+	}
+	var errN atomic.Int64
+	pass := func() phaseResult {
+		var (
+			mu   sync.Mutex
+			lats []float64
+			next atomic.Int64
+			wg   sync.WaitGroup
+		)
+		start := time.Now()
+		for w := 0; w < concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(reqs) {
+						return
+					}
+					t0 := time.Now()
+					resp, err := client.Post(ts.URL+reqs[i].path, "application/json", bytes.NewReader(reqs[i].body))
+					if err != nil {
+						errN.Add(1)
+						continue
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errN.Add(1)
+						continue
+					}
+					mu.Lock()
+					lats = append(lats, time.Since(t0).Seconds())
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		return phaseResult{rps: float64(len(lats)) / elapsed, p50: percentile(lats, 0.50)}
+	}
+	cold = pass()
+	warm = pass()
+	return cold, warm, errN.Load()
+}
+
+// buildCacheWorkload prepares the uniquely keyed request set for the
+// cache phase: per-kernel predicts at distinct evaluation points and
+// bounded optimizes at distinct nominal points. Every request has its
+// own cache key, so the first pass cannot ride an earlier fill.
+func buildCacheWorkload() []workloadReq {
+	must := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		return b
+	}
+	var reqs []workloadReq
+	for i := 0; i < 1; i++ {
+		for _, k := range kernels.All() {
+			// Start from the kernel's known-good evaluation point and
+			// add a salt key: EvalAt ignores surplus args, but any arg
+			// difference is a distinct cache key — unique work per
+			// request, guaranteed-valid evaluation.
+			args := map[string]float64{"n": 100}
+			if k.Args != nil {
+				args = map[string]float64{}
+				for name, v := range k.Args {
+					args[name] = v
+				}
+			}
+			args["salt"] = float64(i)
+			reqs = append(reqs, workloadReq{"/v1/predict", must(serve.PredictRequest{
+				Source: k.Src, Args: args,
+			})})
+		}
+	}
+	matmul, err := kernels.Get("matmul")
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	// Optimize requests carry the cold pass's real compute weight: a
+	// bounded search per distinct nominal point. They are what the
+	// cache actually amortizes in a fleet (repeated identical searches
+	// collapsing to lookups).
+	for i := 0; i < 24; i++ {
+		reqs = append(reqs, workloadReq{"/v1/optimize", must(serve.OptimizeRequest{
+			Source: matmul.Src, Nominal: map[string]float64{"n": float64(200 + i)},
+			MaxNodes: 32, MaxDepth: 3,
+		})})
+	}
+	return reqs
 }
 
 // workloadReq is one canned request of the mixed workload.

@@ -4,21 +4,31 @@
 //
 //	predictd [-addr :8791] [-max-inflight 64] [-timeout 30s]
 //	         [-max-body 1048576] [-workers 0] [-pprof]
+//	         [-result-cache-bytes 67108864] [-no-result-cache]
+//	         [-cache-snapshot path] [-max-jobs 2] [-job-timeout 5m]
 //
 // Endpoints (all POST, JSON in/out; see README "Serving"):
 //
-//	/v1/predict   price one program, optionally evaluate at a point
-//	/v1/batch     price many programs on one warm shared cache
-//	/v1/optimize  search transformations for a faster variant
+//	/v1/predict          price one program, optionally evaluate at a point
+//	/v1/batch            price many programs on one warm shared cache
+//	/v1/optimize         search transformations for a faster variant
+//	/v1/optimize?async=1 submit the search as a job, 202 + job id
+//	/v1/jobs/{id}        GET: poll job state, progress, and result
 //
 // plus GET /metrics (Prometheus text), /healthz, /readyz, and — with
 // -pprof — /debug/pprof/. Every API request runs under a deadline
 // (-timeout) that is threaded as context cancellation into the batch
 // workers and the transformation search, so a dropped client stops
 // consuming CPU. Admission is bounded (-max-inflight); excess load is
-// shed with 503 instead of queueing. SIGINT/SIGTERM drain gracefully:
-// /readyz flips to 503, in-flight requests finish, then the listener
-// closes.
+// shed with 503 instead of queueing.
+//
+// A content-addressed result cache (-result-cache-bytes) fronts every
+// endpoint with finished response bodies; -cache-snapshot names a file
+// the cache is loaded from on boot (a corrupt or missing file just
+// means a cold start) and written to on drain, so a restart keeps its
+// warmth. SIGINT/SIGTERM drain gracefully: /readyz flips to 503 (with
+// Retry-After), in-flight requests finish, running async jobs
+// complete, then the snapshot is written and the listener closes.
 package main
 
 import (
@@ -43,15 +53,35 @@ func main() {
 	workers := flag.Int("workers", 0, "per-request worker-pool cap for batch/optimize (0 = GOMAXPROCS)")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain deadline")
+	cacheBytes := flag.Int64("result-cache-bytes", 0, "result-cache byte budget (0 = 64 MiB)")
+	noCache := flag.Bool("no-result-cache", false, "disable the content-addressed result cache")
+	snapshot := flag.String("cache-snapshot", "", "result-cache snapshot file: loaded on boot, written on drain")
+	maxJobs := flag.Int("max-jobs", 2, "concurrently running async optimize jobs")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job search deadline for async optimize")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
-		MaxInflight:  *maxInflight,
-		Timeout:      *timeout,
-		MaxBodyBytes: *maxBody,
-		Workers:      *workers,
-		EnablePprof:  *enablePprof,
+		MaxInflight:        *maxInflight,
+		Timeout:            *timeout,
+		MaxBodyBytes:       *maxBody,
+		Workers:            *workers,
+		EnablePprof:        *enablePprof,
+		ResultCacheBytes:   *cacheBytes,
+		DisableResultCache: *noCache,
+		MaxJobs:            *maxJobs,
+		JobTimeout:         *jobTimeout,
 	})
+	if *snapshot != "" && srv.Results() != nil {
+		// A missing or corrupt snapshot only costs warmth: log and
+		// boot cold, never fail.
+		if err := srv.Results().LoadFile(*snapshot); err != nil {
+			log.Printf("predictd: cache snapshot %s not loaded (starting cold): %v", *snapshot, err)
+		} else {
+			st := srv.Results().Stats()
+			log.Printf("predictd: cache snapshot %s loaded: %d entries, %d bytes",
+				*snapshot, st.Entries, st.Bytes)
+		}
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	done := make(chan struct{})
@@ -66,6 +96,19 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("predictd: drain: %v", err)
+		}
+		// Let running async jobs land their results before the
+		// snapshot is cut.
+		if err := srv.DrainJobs(ctx); err != nil {
+			log.Printf("predictd: job drain: %v", err)
+		}
+		if *snapshot != "" && srv.Results() != nil {
+			if err := srv.Results().SaveFile(*snapshot); err != nil {
+				log.Printf("predictd: cache snapshot %s not written: %v", *snapshot, err)
+			} else {
+				st := srv.Results().Stats()
+				log.Printf("predictd: cache snapshot %s written: %d entries", *snapshot, st.Entries)
+			}
 		}
 	}()
 

@@ -43,6 +43,9 @@
 //     shared warm cache all reproduce serial Predict byte-for-byte.
 //   - incremental-identical: PriceIncremental over warm caches after
 //     a random transformation equals a from-scratch re-pricing.
+//   - result-cache-identical (CheckResultCache): the serving stack's
+//     response bytes with the result cache disabled, cold, and warm
+//     are identical on generated programs × generated inline specs.
 package invariants
 
 import (
@@ -429,6 +432,7 @@ func Run(n int, baseSeed int64, cfg Config) Summary {
 		s.Violations = append(s.Violations, CheckSpec(seed)...)
 		if i%8 == 0 {
 			s.Violations = append(s.Violations, CheckProgram(seed)...)
+			s.Violations = append(s.Violations, CheckResultCache(seed)...)
 		}
 		s.Samples++
 	}

@@ -1,0 +1,417 @@
+package resultcache
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perfpredict/internal/source"
+)
+
+// key returns a deterministic test key pinned to shard 0, so
+// eviction-order tests see one LRU list instead of 16.
+func key(n int) Key { return Key{Hi: uint64(n), Lo: uint64(n) << 4} }
+
+func val(n, size int) []byte {
+	return bytes.Repeat([]byte{byte(n)}, size)
+}
+
+// TestGetPut pins the basic contract: miss, put, hit, replace.
+func TestGetPut(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key(1), val(1, 10))
+	got, ok := c.Get(key(1))
+	if !ok || !bytes.Equal(got, val(1, 10)) {
+		t.Fatalf("get after put: %v %v", got, ok)
+	}
+	c.Put(key(1), val(2, 20))
+	got, ok = c.Get(key(1))
+	if !ok || !bytes.Equal(got, val(2, 20)) {
+		t.Fatalf("get after replace: %v %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Puts != 2 || st.Entries != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestLRUEvictionOrder fills one shard past its byte budget and
+// checks that eviction follows recency: the entry touched most
+// recently survives, the least recently used goes first.
+func TestLRUEvictionOrder(t *testing.T) {
+	// Budget for ~3 entries of 100 bytes (+overhead) in shard 0;
+	// New splits the budget across 16 shards.
+	per := int64(3 * (100 + entryOverhead))
+	c := New(per * nShards)
+	c.Put(key(1), val(1, 100))
+	c.Put(key(2), val(2, 100))
+	c.Put(key(3), val(3, 100))
+	if c.Len() != 3 {
+		t.Fatalf("len %d, want 3", c.Len())
+	}
+	// Touch 1, so 2 becomes the LRU.
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("key 1 missing before eviction")
+	}
+	c.Put(key(4), val(4, 100))
+	if _, ok := c.Get(key(2)); ok {
+		t.Error("LRU entry 2 survived eviction")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := c.Get(key(k)); !ok {
+			t.Errorf("entry %d evicted out of order", k)
+		}
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions %d, want 1", ev)
+	}
+}
+
+// TestPutOversizedRejected pins that a value larger than a whole
+// shard budget is declined instead of flushing the shard.
+func TestPutOversizedRejected(t *testing.T) {
+	c := New(nShards * 256)
+	c.Put(key(1), val(1, 64))
+	c.Put(key(2), val(2, 10_000))
+	if _, ok := c.Get(key(2)); ok {
+		t.Error("oversized value was cached")
+	}
+	if _, ok := c.Get(key(1)); !ok {
+		t.Error("existing entry lost to an oversized put")
+	}
+	if st := c.Stats(); st.Rejected != 1 {
+		t.Errorf("rejected %d, want 1", st.Rejected)
+	}
+}
+
+// TestEvictionNeverChangesResults: every Get either misses or returns
+// exactly what was Put under that key, under heavy churn in a tiny
+// cache — eviction may cost hits, never corrupt values.
+func TestEvictionNeverChangesResults(t *testing.T) {
+	c := New(nShards * 512)
+	for i := 0; i < 2000; i++ {
+		k := key(i % 37)
+		want := []byte(fmt.Sprintf("value-%d", i%37))
+		c.Put(k, want)
+		if got, ok := c.Get(k); ok && !bytes.Equal(got, want) {
+			t.Fatalf("key %d returned %q, want %q", i%37, got, want)
+		}
+		if got, ok := c.Get(key(i % 53)); ok {
+			if want := []byte(fmt.Sprintf("value-%d", i%53)); !bytes.Equal(got, want) {
+				t.Fatalf("churn: key %d returned %q, want %q", i%53, got, want)
+			}
+		}
+	}
+}
+
+// TestConcurrentHitMiss is the race gate: concurrent readers and
+// writers over overlapping keys in a small (eviction-heavy) cache.
+// Run under -race in CI.
+func TestConcurrentHitMiss(t *testing.T) {
+	c := New(nShards * 2048)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n := (g*31 + i) % 97
+				want := []byte(fmt.Sprintf("v%d", n))
+				if i%3 == 0 {
+					c.Put(Key{Hi: uint64(n), Lo: uint64(n * 7)}, want)
+				}
+				if got, ok := c.Get(Key{Hi: uint64(n), Lo: uint64(n * 7)}); ok && !bytes.Equal(got, want) {
+					t.Errorf("key %d: got %q want %q", n, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 || st.Puts == 0 {
+		t.Errorf("degenerate run: %+v", st)
+	}
+}
+
+// TestSnapshotRoundTrip: save, load into a fresh cache, and require
+// identical hits for every surviving key — the warm-restart contract.
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := New(1 << 20)
+	keys := make([]Key, 50)
+	for i := range keys {
+		keys[i] = Key{Hi: uint64(i * 3), Lo: uint64(i * 11)}
+		c.Put(keys[i], val(i, 50+i))
+	}
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(1 << 20)
+	if err := fresh.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != c.Len() {
+		t.Fatalf("restored %d entries, want %d", fresh.Len(), c.Len())
+	}
+	for i, k := range keys {
+		got, ok := fresh.Get(k)
+		if !ok || !bytes.Equal(got, val(i, 50+i)) {
+			t.Fatalf("key %d: restored hit diverged (%v, ok=%v)", i, got, ok)
+		}
+	}
+}
+
+// TestSnapshotPreservesRecency: after a round-trip, eviction order in
+// the restored cache matches the original's recency order.
+func TestSnapshotPreservesRecency(t *testing.T) {
+	per := int64(3 * (100 + entryOverhead))
+	c := New(per * nShards)
+	c.Put(key(1), val(1, 100))
+	c.Put(key(2), val(2, 100))
+	c.Put(key(3), val(3, 100))
+	c.Get(key(1)) // 2 is now LRU
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(per * nShards)
+	if err := fresh.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh.Put(key(4), val(4, 100))
+	if _, ok := fresh.Get(key(2)); ok {
+		t.Error("restored cache evicted out of saved recency order (2 survived)")
+	}
+	if _, ok := fresh.Get(key(1)); !ok {
+		t.Error("most-recently-used entry 1 evicted after restore")
+	}
+}
+
+// TestCorruptSnapshotRejected: every class of damage — bad magic,
+// truncation at each region, a flipped payload byte, trailing junk,
+// an absurd count — must fail the load and leave the cache untouched.
+func TestCorruptSnapshotRejected(t *testing.T) {
+	c := New(1 << 20)
+	for i := 0; i < 10; i++ {
+		c.Put(key(i), val(i, 100))
+	}
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	corrupt := func(name string, data []byte) {
+		t.Run(name, func(t *testing.T) {
+			fresh := New(1 << 20)
+			if err := fresh.LoadSnapshot(bytes.NewReader(data)); err == nil {
+				t.Fatal("corrupt snapshot loaded without error")
+			}
+			if fresh.Len() != 0 {
+				t.Errorf("cache partially filled (%d entries) from corrupt snapshot", fresh.Len())
+			}
+		})
+	}
+
+	corrupt("empty", nil)
+	corrupt("bad-magic", append([]byte("not-a-snapshot-xxxxx"), good[20:]...))
+	corrupt("truncated-header", good[:len(snapshotMagic)+2])
+	corrupt("truncated-mid-entry", good[:len(good)/2])
+	corrupt("truncated-checksum", good[:len(good)-3])
+	flipped := append([]byte(nil), good...)
+	flipped[len(snapshotMagic)+4+25] ^= 0x40 // a payload byte
+	corrupt("flipped-byte", flipped)
+	corrupt("trailing-junk", append(append([]byte(nil), good...), 0xff))
+	huge := append([]byte(nil), good...)
+	huge[len(snapshotMagic)] = 0xff // count low byte
+	huge[len(snapshotMagic)+3] = 0xff
+	corrupt("absurd-count", huge)
+}
+
+// TestSaveLoadFile covers the atomic file helpers, including the
+// boot-continues-cold behavior on a corrupt file.
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snap")
+	c := New(1 << 20)
+	c.Put(key(1), val(1, 64))
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(1 << 20)
+	if err := fresh.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Get(key(1)); !ok {
+		t.Fatal("entry lost through file round-trip")
+	}
+	// Corrupt on disk: load fails, cache stays cold and usable.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cold := New(1 << 20)
+	if err := cold.LoadFile(path); err == nil {
+		t.Fatal("corrupt file loaded")
+	}
+	if cold.Len() != 0 {
+		t.Errorf("cold cache has %d entries after failed load", cold.Len())
+	}
+	cold.Put(key(2), val(2, 8))
+	if _, ok := cold.Get(key(2)); !ok {
+		t.Error("cache unusable after failed load")
+	}
+}
+
+// TestSingleflightCoalesces: concurrent Do calls on one key run fn
+// once; followers report shared=true and see the leader's value.
+func TestSingleflightCoalesces(t *testing.T) {
+	var g Group
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	const followers = 5
+
+	var wg sync.WaitGroup
+	results := make([][]byte, followers+1)
+	sharedFlags := make([]bool, followers+1)
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, err, shared := g.Do(context.Background(), key(9), func() ([]byte, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return []byte("answer"), nil
+		})
+		if err != nil {
+			t.Errorf("leader: %v", err)
+		}
+		results[0], sharedFlags[0] = v, shared
+	}()
+	<-started
+	var arrived sync.WaitGroup
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		arrived.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arrived.Done()
+			v, err, shared := g.Do(context.Background(), key(9), func() ([]byte, error) {
+				calls.Add(1)
+				return []byte("duplicate"), nil
+			})
+			if err != nil {
+				t.Errorf("follower %d: %v", i, err)
+			}
+			results[i], sharedFlags[i] = v, shared
+		}(i)
+	}
+	// Let the followers reach Do before releasing the leader; the
+	// leader is parked in fn, so the flight they must join is pinned.
+	arrived.Wait()
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	<-leaderDone
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	if sharedFlags[0] {
+		t.Error("leader reported shared")
+	}
+	for i := 0; i <= followers; i++ {
+		if !bytes.Equal(results[i], []byte("answer")) {
+			t.Errorf("caller %d got %q", i, results[i])
+		}
+		if i > 0 && !sharedFlags[i] {
+			t.Errorf("follower %d not marked shared", i)
+		}
+	}
+}
+
+// TestSingleflightFollowerCtx: a follower whose ctx dies stops
+// waiting with ctx.Err(); the leader is unaffected.
+func TestSingleflightFollowerCtx(t *testing.T) {
+	var g Group
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderOut := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(context.Background(), key(5), func() ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("x"), nil
+		})
+		leaderOut <- err
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err, shared := g.Do(ctx, key(5), func() ([]byte, error) { return nil, nil })
+	if err != context.Canceled || !shared {
+		t.Fatalf("follower: err=%v shared=%v, want context.Canceled, true", err, shared)
+	}
+	close(release)
+	if err := <-leaderOut; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+}
+
+// TestKeyBuilders pins the canonicalization rules that make keys
+// sound: nil vs empty args differ, map order is irrelevant, every
+// request field that can change response bytes changes the key, and
+// the three request kinds never collide.
+func TestKeyBuilders(t *testing.T) {
+	fpA := source.Fingerprint{Hi: 1, Lo: 2}
+	fpB := source.Fingerprint{Hi: 3, Lo: 4}
+	mach := source.Fingerprint{Hi: 9, Lo: 9}
+
+	if PredictKey(fpA, mach, nil) == PredictKey(fpA, mach, map[string]float64{}) {
+		t.Error("nil args and empty args collide (empty still requests evaluation)")
+	}
+	a1 := map[string]float64{"n": 1, "m": 2}
+	a2 := map[string]float64{"m": 2, "n": 1}
+	if PredictKey(fpA, mach, a1) != PredictKey(fpA, mach, a2) {
+		t.Error("same args built in different order hash differently")
+	}
+	if PredictKey(fpA, mach, a1) == PredictKey(fpA, mach, map[string]float64{"n": 1, "m": 3}) {
+		t.Error("different arg values collide")
+	}
+	if PredictKey(fpA, mach, nil) == PredictKey(fpB, mach, nil) {
+		t.Error("different programs collide")
+	}
+	if PredictKey(fpA, mach, nil) == PredictKey(fpA, fpB, nil) {
+		t.Error("different machines collide")
+	}
+
+	if BatchKey([]source.Fingerprint{fpA, fpB}, mach, nil) ==
+		BatchKey([]source.Fingerprint{fpB, fpA}, mach, nil) {
+		t.Error("batch order is significant but keys collide")
+	}
+
+	if OptimizeKey(fpA, mach, nil, 4, 2) == OptimizeKey(fpA, mach, nil, 8, 2) {
+		t.Error("different MaxNodes collide")
+	}
+	if OptimizeKey(fpA, mach, nil, 4, 2) == OptimizeKey(fpA, mach, nil, 4, 3) {
+		t.Error("different MaxDepth collide")
+	}
+
+	// Cross-kind separation on identical inputs.
+	p := PredictKey(fpA, mach, nil)
+	b := BatchKey([]source.Fingerprint{fpA}, mach, nil)
+	o := OptimizeKey(fpA, mach, nil, 0, 0)
+	if p == b || p == o || b == o {
+		t.Errorf("request kinds collide: predict=%v batch=%v optimize=%v", p, b, o)
+	}
+}

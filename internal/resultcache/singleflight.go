@@ -1,0 +1,58 @@
+package resultcache
+
+import (
+	"context"
+	"sync"
+)
+
+// Group coalesces concurrent computations of the same cache key: the
+// first caller (the leader) runs the function; every caller that
+// arrives while it is in flight (a follower) waits for the leader's
+// result instead of duplicating the work. This is what turns N
+// clients submitting the identical kernel into one search.
+type Group struct {
+	mu sync.Mutex
+	m  map[Key]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Do runs fn under key, coalescing with any in-flight call for the
+// same key. It returns shared=true when the result (or error) came
+// from another caller's flight. A follower whose own ctx expires
+// stops waiting and returns ctx.Err() without disturbing the leader.
+//
+// Error sharing is deliberate — deterministic failures (a program
+// that does not parse) are as content-addressed as successes — but a
+// leader's *cancellation* is not deterministic: a follower receiving
+// a shared error whose own ctx is still live should retry solo.
+func (g *Group) Do(ctx context.Context, key Key, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[Key]*flight{}
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, f.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, f.err, false
+}

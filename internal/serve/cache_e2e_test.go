@@ -1,0 +1,410 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestE2ECacheByteIdentity is the tentpole's correctness gate: for
+// every corpus program on every endpoint, the response bytes from a
+// cache-disabled server, a cold cached server (miss + compute), and
+// the same cached server asked again (pure hit) are identical. The
+// cache may change latency, never content.
+func TestE2ECacheByteIdentity(t *testing.T) {
+	off := httptest.NewServer(New(Config{DisableResultCache: true}).Handler())
+	defer off.Close()
+	cached := httptest.NewServer(New(Config{}).Handler())
+	defer cached.Close()
+
+	names, srcs := corpusSources(t)
+	check := func(name, path string, req any) {
+		t.Helper()
+		stOff, bodyOff := postJSON(t, off, path, req)
+		stCold, bodyCold := postJSON(t, cached, path, req)
+		stWarm, bodyWarm := postJSON(t, cached, path, req)
+		if stOff != stCold || stOff != stWarm {
+			t.Errorf("%s %s: status off=%d cold=%d warm=%d", name, path, stOff, stCold, stWarm)
+			return
+		}
+		if !bytes.Equal(bodyOff, bodyCold) {
+			t.Errorf("%s %s: cold cached body differs from cache-off body\noff:  %s\ncold: %s",
+				name, path, bodyOff, bodyCold)
+		}
+		if !bytes.Equal(bodyCold, bodyWarm) {
+			t.Errorf("%s %s: warm hit differs from its own cold compute\ncold: %s\nwarm: %s",
+				name, path, bodyCold, bodyWarm)
+		}
+	}
+
+	for i, src := range srcs {
+		check(names[i], "/v1/predict", PredictRequest{Source: src})
+		check(names[i], "/v1/predict", PredictRequest{Source: src,
+			Args: map[string]float64{"n": 64, "m": 8}})
+	}
+	check("corpus", "/v1/batch", BatchRequest{Sources: srcs,
+		Args: map[string]float64{"n": 32, "m": 4}})
+	// Optimize is expensive; two programs with tight bounds cover the
+	// search path.
+	for i := 0; i < len(srcs) && i < 2; i++ {
+		check(names[i], "/v1/optimize", OptimizeRequest{Source: srcs[i],
+			Nominal: map[string]float64{"n": 100, "m": 10}, MaxNodes: 6, MaxDepth: 2})
+	}
+
+	// The warm pass must actually have been served from the cache.
+	hits := scrapeInt(t, cached, "predictd_result_cache_hits")
+	if want := int64(2*len(srcs) + 1 + 2); hits != want {
+		t.Errorf("result cache hits = %d, want %d (one per warm repeat)", hits, want)
+	}
+}
+
+// TestE2ESnapshotRoundTripServesIdenticalHits drives a cached server,
+// snapshots its result cache, loads the snapshot into a brand-new
+// server, and requires the new server to answer every request
+// byte-identically — from the cache, without recomputing.
+func TestE2ESnapshotRoundTripServesIdenticalHits(t *testing.T) {
+	names, srcs := corpusSources(t)
+	s1 := New(Config{})
+	ts1 := httptest.NewServer(s1.Handler())
+	bodies := make([][]byte, len(srcs))
+	for i, src := range srcs {
+		_, bodies[i] = postJSON(t, ts1, "/v1/predict", PredictRequest{Source: src})
+	}
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	if err := s1.Results().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	s2 := New(Config{})
+	if err := s2.Results().LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	for i, src := range srcs {
+		status, body := postJSON(t, ts2, "/v1/predict", PredictRequest{Source: src})
+		if status != http.StatusOK || !bytes.Equal(body, bodies[i]) {
+			t.Errorf("%s: restored server diverged (status %d)\nwas: %s\nnow: %s",
+				names[i], status, bodies[i], body)
+		}
+	}
+	st := s2.Results().Stats()
+	if st.Misses != 0 || st.Hits != int64(len(srcs)) {
+		t.Errorf("restored server recomputed: hits=%d misses=%d, want %d/0",
+			st.Hits, st.Misses, len(srcs))
+	}
+}
+
+// jobStatusOf decodes a JobStatus body.
+func jobStatusOf(t *testing.T, body []byte) JobStatus {
+	t.Helper()
+	var js JobStatus
+	if err := json.Unmarshal(body, &js); err != nil {
+		t.Fatalf("job status: %v\n%s", err, body)
+	}
+	return js
+}
+
+// getJob polls GET /v1/jobs/{id}.
+func getJob(t *testing.T, ts *httptest.Server, id string) (int, JobStatus) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, JobStatus{}
+	}
+	return resp.StatusCode, jobStatusOf(t, body)
+}
+
+// waitJob polls until the job reaches a terminal state.
+func waitJob(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, js := getJob(t, ts, id)
+		if code != http.StatusOK {
+			t.Fatalf("poll %s: status %d", id, code)
+		}
+		if js.State == jobDone || js.State == jobFailed {
+			return js
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobStatus{}
+}
+
+// TestE2EAsyncJobMatchesSync: an async optimize job's Result must be
+// byte-identical to the body of the same request served synchronously
+// by a cache-disabled server (a guaranteed fresh computation).
+func TestE2EAsyncJobMatchesSync(t *testing.T) {
+	_, srcs := corpusSources(t)
+	req := OptimizeRequest{Source: srcs[0],
+		Nominal: map[string]float64{"n": 100, "m": 10}, MaxNodes: 6, MaxDepth: 2}
+
+	off := httptest.NewServer(New(Config{DisableResultCache: true}).Handler())
+	defer off.Close()
+	_, syncBody := postJSON(t, off, "/v1/optimize", req)
+
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	status, body := postJSON(t, ts, "/v1/optimize?async=1", req)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202\n%s", status, body)
+	}
+	js := waitJob(t, ts, jobStatusOf(t, body).ID)
+	if js.State != jobDone {
+		t.Fatalf("job failed: %+v", js)
+	}
+	if !bytes.Equal(append([]byte(nil), append(js.Result, '\n')...), syncBody) {
+		t.Errorf("async result differs from sync body\nsync:  %s\nasync: %s", syncBody, js.Result)
+	}
+	if js.Explored == 0 {
+		t.Error("finished job reported no explored nodes (progress hook never fired)")
+	}
+	if js.BestCost == nil {
+		t.Error("finished job reported no best cost")
+	}
+
+	// The job landed its body in the shared result cache: a sync
+	// request for the same work is now a byte-identical cache hit.
+	hitsBefore := scrapeInt(t, ts, "predictd_result_cache_hits")
+	_, syncAfter := postJSON(t, ts, "/v1/optimize", req)
+	if !bytes.Equal(syncAfter, syncBody) {
+		t.Errorf("sync-after-async differs:\nwant: %s\ngot:  %s", syncBody, syncAfter)
+	}
+	if got := scrapeInt(t, ts, "predictd_result_cache_hits"); got != hitsBefore+1 {
+		t.Errorf("sync-after-async was not a cache hit (hits %d → %d)", hitsBefore, got)
+	}
+
+	// Submitting the identical work again births a done job straight
+	// from the cache, with the identical result.
+	status, body = postJSON(t, ts, "/v1/optimize?async=1", req)
+	if status != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", status)
+	}
+	js2 := jobStatusOf(t, body)
+	if js2.State != jobDone || !bytes.Equal(js2.Result, js.Result) {
+		t.Errorf("cached resubmission not born done with identical result: %+v", js2)
+	}
+	if js2.ID == js.ID {
+		t.Error("resubmission reused the finished job's id")
+	}
+}
+
+// TestE2EAsyncJobCoalescing pins that identical submissions share one
+// search: the job slot is held shut white-box, so the first
+// submission is pinned in "pending" while the duplicates arrive.
+func TestE2EAsyncJobCoalescing(t *testing.T) {
+	_, srcs := corpusSources(t)
+	s := New(Config{MaxJobs: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	req := OptimizeRequest{Source: srcs[0],
+		Nominal: map[string]float64{"n": 50, "m": 5}, MaxNodes: 4, MaxDepth: 2}
+
+	s.jobs.sem <- struct{}{} // hold the only job slot
+	_, body := postJSON(t, ts, "/v1/optimize?async=1", req)
+	first := jobStatusOf(t, body)
+	if first.State != jobPending {
+		t.Fatalf("slot held but job state %q, want pending", first.State)
+	}
+	var dupIDs []string
+	for i := 0; i < 3; i++ {
+		_, body := postJSON(t, ts, "/v1/optimize?async=1", req)
+		dupIDs = append(dupIDs, jobStatusOf(t, body).ID)
+	}
+	<-s.jobs.sem // release; the single pending job runs
+	for _, id := range dupIDs {
+		if id != first.ID {
+			t.Errorf("duplicate submission got its own job %s, want coalesced onto %s", id, first.ID)
+		}
+	}
+	js := waitJob(t, ts, first.ID)
+	if js.State != jobDone {
+		t.Fatalf("job failed: %+v", js)
+	}
+	got := scrape(t, ts)
+	expectSample(t, got, `predictd_jobs_total{event="submitted"}`, "1")
+	expectSample(t, got, `predictd_jobs_total{event="coalesced"}`, "3")
+	expectSample(t, got, `predictd_jobs_total{event="completed"}`, "1")
+	expectSample(t, got, "predictd_jobs_active", "0")
+}
+
+// TestE2EAsyncJobValidation: a submission that cannot possibly
+// succeed fails at submit time with the same status/code the sync
+// path gives — no job is created for doomed work.
+func TestE2EAsyncJobValidation(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	status, body := postJSON(t, ts, "/v1/optimize?async=1",
+		OptimizeRequest{Source: "program p\nthis does not parse\nend\n"})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("bad program submit: status %d, want 422\n%s", status, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error.Code != CodeBadProgram {
+		t.Errorf("bad program submit: %s", body)
+	}
+	status, _ = postJSON(t, ts, "/v1/optimize?async=1",
+		OptimizeRequest{Source: "program p\nreal x\nx = 1.0\nend\n", Machine: "PDP11"})
+	if status != http.StatusNotFound {
+		t.Errorf("unknown machine submit: status %d, want 404", status)
+	}
+}
+
+// TestE2EJobUnknownID: polling an id that was never issued is a
+// structured 404.
+func TestE2EJobUnknownID(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/opt-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error.Code != CodeUnknownJob {
+		t.Errorf("unknown job body: %s", body)
+	}
+}
+
+// TestE2EDrainJobsWaits: DrainJobs returns only after running jobs
+// finish, and the finished job's result is in the cache (so the
+// snapshot written after the drain carries it).
+func TestE2EDrainJobsWaits(t *testing.T) {
+	_, srcs := corpusSources(t)
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	req := OptimizeRequest{Source: srcs[0],
+		Nominal: map[string]float64{"n": 40}, MaxNodes: 4, MaxDepth: 2}
+	_, body := postJSON(t, ts, "/v1/optimize?async=1", req)
+	id := jobStatusOf(t, body).ID
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.DrainJobs(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	code, js := getJob(t, ts, id)
+	if code != http.StatusOK || js.State != jobDone {
+		t.Fatalf("after drain: job %s state %q (code %d)", id, js.State, code)
+	}
+	if s.Results().Len() == 0 {
+		t.Error("drained job left nothing in the result cache")
+	}
+}
+
+// TestE2ESingleflightIdenticalBursts: a burst of identical predicts
+// against a cold cache produces identical bodies, exactly one cached
+// entry, and a conserved accounting: every request was a hit, a
+// shared flight, or the one computation (plus possible solo retries —
+// none here, nothing cancels).
+func TestE2ESingleflightIdenticalBursts(t *testing.T) {
+	_, srcs := corpusSources(t)
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	const n = 12
+	req := PredictRequest{Source: srcs[len(srcs)-1], Args: map[string]float64{"n": 128, "m": 16}}
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, body, err := tryPostJSON(ts, "/v1/predict", req)
+			if err == nil && status != http.StatusOK {
+				err = fmt.Errorf("status %d: %s", status, body)
+			}
+			bodies[i], errs[i] = body, err
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("burst response %d differs:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	st := s.Results().Stats()
+	if st.Entries != 1 {
+		t.Errorf("burst of identical requests left %d entries, want 1", st.Entries)
+	}
+	shared := scrapeInt(t, ts, "predictd_singleflight_shared_total")
+	if st.Hits+shared+st.Puts != n {
+		t.Errorf("accounting: hits(%d) + shared(%d) + computes(%d) != %d requests",
+			st.Hits, shared, st.Puts, n)
+	}
+}
+
+// TestRetryAfterHeaders pins the two backpressure signals: a shed 503
+// and a draining /readyz both carry Retry-After.
+func TestRetryAfterHeaders(t *testing.T) {
+	s := New(Config{MaxInflight: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.sem <- struct{}{} // fill admission white-box
+	resp, err := ts.Client().Post(ts.URL+"/v1/predict", "application/json",
+		bytes.NewReader([]byte(`{"source":"end\n"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Errorf("shed 503 Retry-After = %q, want \"1\"", resp.Header.Get("Retry-After"))
+	}
+	<-s.sem
+
+	s.SetDraining(true)
+	resp, err = ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "5" {
+		t.Errorf("draining /readyz Retry-After = %q, want \"5\"", resp.Header.Get("Retry-After"))
+	}
+}
+
+// scrapeInt reads one /metrics sample as an integer.
+func scrapeInt(t *testing.T, ts *httptest.Server, name string) int64 {
+	t.Helper()
+	v, ok := scrape(t, ts)[name]
+	if !ok {
+		t.Fatalf("no sample %s", name)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		t.Fatalf("sample %s = %q: %v", name, v, err)
+	}
+	return int64(f)
+}

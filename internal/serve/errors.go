@@ -13,6 +13,7 @@ const (
 	CodeBodyTooLarge      = "body_too_large"     // 413: body exceeds -max-body
 	CodeBadProgram        = "bad_program"        // 422: F-lite source fails to parse or analyze
 	CodeInvalidSpec       = "invalid_spec"       // 422: inline machine spec fails validation
+	CodeUnknownJob        = "unknown_job"        // 404: job id never issued or already evicted
 	CodeInternal          = "internal"           // 500: handler panicked (isolated; service keeps running)
 	CodeOverloaded        = "overloaded"         // 503: admission semaphore full, request shed
 	CodeDeadlineExceeded  = "deadline_exceeded"  // 504: request deadline expired mid-work
@@ -68,4 +69,9 @@ func errBadProgram(msg string) *apiError {
 
 func errInvalidSpec(msg string) *apiError {
 	return &apiError{status: statusUnprocessable, code: CodeInvalidSpec, msg: msg}
+}
+
+func errUnknownJob(id string) *apiError {
+	return &apiError{status: statusNotFound, code: CodeUnknownJob,
+		msg: "unknown job id " + id + " (finished jobs are retained briefly, then forgotten)"}
 }

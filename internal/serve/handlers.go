@@ -11,6 +11,9 @@ import (
 
 	"perfpredict"
 	"perfpredict/internal/machine"
+	"perfpredict/internal/resultcache"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
 )
 
 // PredictRequest is the body of POST /v1/predict.
@@ -105,17 +108,20 @@ func (s *Server) handlePredict(r *http.Request) (any, *apiError) {
 	if aerr != nil {
 		return nil, aerr
 	}
-	// A one-element batch is the cache-aware, context-aware single
-	// prediction: it shares the server's warm segment cache.
-	preds, errs := perfpredict.PredictBatchCtx(r.Context(), []string{req.Source}, target,
-		perfpredict.BatchOptions{Workers: 1, Cache: s.seg})
-	if err := r.Context().Err(); err != nil {
-		return nil, ctxError(err)
-	}
-	if errs[0] != nil {
-		return nil, errBadProgram(errs[0].Error())
-	}
-	return buildPredictResponse(preds[0], target.Name, req.Args)
+	key := resultcache.PredictKey(programFP(req.Source), target.Fingerprint(), req.Args)
+	return s.withResultCache(r, key, func() (any, *apiError) {
+		// A one-element batch is the cache-aware, context-aware single
+		// prediction: it shares the server's warm segment cache.
+		preds, errs := perfpredict.PredictBatchCtx(r.Context(), []string{req.Source}, target,
+			perfpredict.BatchOptions{Workers: 1, Cache: s.seg})
+		if err := r.Context().Err(); err != nil {
+			return nil, ctxError(err)
+		}
+		if errs[0] != nil {
+			return nil, errBadProgram(errs[0].Error())
+		}
+		return buildPredictResponse(preds[0], target.Name, req.Args)
+	})
 }
 
 // buildPredictResponse converts a library prediction into the wire
@@ -148,25 +154,36 @@ func (s *Server) handleBatch(r *http.Request) (any, *apiError) {
 	if aerr != nil {
 		return nil, aerr
 	}
-	preds, errs := perfpredict.PredictBatchCtx(r.Context(), req.Sources, target,
-		perfpredict.BatchOptions{Workers: s.boundWorkers(req.Workers), Cache: s.seg})
-	if err := r.Context().Err(); err != nil {
-		return nil, ctxError(err)
+	// The batch key covers the ordered per-source fingerprints
+	// (responses are index-aligned) but not Workers: results are
+	// byte-identical for any worker count, so a different ask for the
+	// same work is still the same work.
+	fps := make([]source.Fingerprint, len(req.Sources))
+	for i, src := range req.Sources {
+		fps[i] = programFP(src)
 	}
-	resp := BatchResponse{Machine: target.Name, Results: make([]BatchItem, len(preds))}
-	for i := range preds {
-		if errs[i] != nil {
-			resp.Results[i].Error = &ErrorBody{Code: CodeBadProgram, Message: errs[i].Error()}
-			continue
+	key := resultcache.BatchKey(fps, target.Fingerprint(), req.Args)
+	return s.withResultCache(r, key, func() (any, *apiError) {
+		preds, errs := perfpredict.PredictBatchCtx(r.Context(), req.Sources, target,
+			perfpredict.BatchOptions{Workers: s.boundWorkers(req.Workers), Cache: s.seg})
+		if err := r.Context().Err(); err != nil {
+			return nil, ctxError(err)
 		}
-		item, aerr := buildBatchItem(preds[i], req.Args)
-		if aerr != nil {
-			resp.Results[i].Error = &ErrorBody{Code: aerr.code, Message: aerr.msg}
-			continue
+		resp := BatchResponse{Machine: target.Name, Results: make([]BatchItem, len(preds))}
+		for i := range preds {
+			if errs[i] != nil {
+				resp.Results[i].Error = &ErrorBody{Code: CodeBadProgram, Message: errs[i].Error()}
+				continue
+			}
+			item, aerr := buildBatchItem(preds[i], req.Args)
+			if aerr != nil {
+				resp.Results[i].Error = &ErrorBody{Code: aerr.code, Message: aerr.msg}
+				continue
+			}
+			resp.Results[i] = item
 		}
-		resp.Results[i] = item
-	}
-	return resp, nil
+		return resp, nil
+	})
 }
 
 // buildBatchItem is buildPredictResponse's per-slot sibling.
@@ -191,28 +208,53 @@ func (s *Server) handleOptimize(r *http.Request) (any, *apiError) {
 	if aerr != nil {
 		return nil, aerr
 	}
-	res, err := perfpredict.OptimizeCtx(r.Context(), req.Source, target, req.Nominal,
-		perfpredict.OptimizeOptions{
-			Workers:   s.boundWorkers(0),
-			SegCache:  s.seg,
-			NestCache: s.nest,
-			MaxNodes:  req.MaxNodes,
-			MaxDepth:  req.MaxDepth,
-		})
+	// Parse and analyze up front: the structural fingerprint anchors
+	// the cache key, and an async submission must fail now — with the
+	// same 422 a sync call would produce — not inside a job the
+	// client has already been told to poll.
+	prog, err := source.Parse(req.Source)
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			return nil, ctxError(err)
-		}
 		return nil, errBadProgram(err.Error())
 	}
-	return OptimizeResponse{
-		Machine:         target.Name,
-		Source:          res.Source,
-		Transformations: res.Transformations,
-		PredictedBefore: res.PredictedBefore,
-		PredictedAfter:  res.PredictedAfter,
-		Explored:        res.Explored,
-	}, nil
+	if _, err := sem.Analyze(prog); err != nil {
+		return nil, errBadProgram(err.Error())
+	}
+	key := resultcache.OptimizeKey(source.FingerprintProgram(prog), target.Fingerprint(),
+		req.Nominal, req.MaxNodes, req.MaxDepth)
+	if isAsync(r) {
+		return s.submitOptimize(req, target, key)
+	}
+	return s.withResultCache(r, key, func() (any, *apiError) {
+		res, err := perfpredict.OptimizeCtx(r.Context(), req.Source, target, req.Nominal,
+			perfpredict.OptimizeOptions{
+				Workers:   s.boundWorkers(0),
+				SegCache:  s.seg,
+				NestCache: s.nest,
+				MaxNodes:  req.MaxNodes,
+				MaxDepth:  req.MaxDepth,
+			})
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return nil, ctxError(err)
+			}
+			return nil, errBadProgram(err.Error())
+		}
+		return OptimizeResponse{
+			Machine:         target.Name,
+			Source:          res.Source,
+			Transformations: res.Transformations,
+			PredictedBefore: res.PredictedBefore,
+			PredictedAfter:  res.PredictedAfter,
+			Explored:        res.Explored,
+		}, nil
+	})
+}
+
+// isAsync reports whether an optimize request asked for job-style
+// execution (?async=1).
+func isAsync(r *http.Request) bool {
+	v := r.URL.Query().Get("async")
+	return v != "" && v != "0" && v != "false"
 }
 
 // boundWorkers resolves a request's worker ask against the server

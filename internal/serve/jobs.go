@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"perfpredict"
+	"perfpredict/internal/resultcache"
+)
+
+// Async optimize jobs: POST /v1/optimize?async=1 validates the
+// request synchronously (a malformed request fails with the same
+// status a sync call would, before any job exists), then returns 202
+// with a job id; GET /v1/jobs/{id} polls progress. The job runs the
+// identical search the sync path runs — same warm caches, same
+// bounds — and lands its encoded response body in the result cache
+// under the same content-addressed key, so a later sync request for
+// the same work is a byte-identical cache hit.
+//
+// Lifecycle: pending (accepted, waiting for a job slot) → running
+// (search executing; explored/best_cost live) → done | failed.
+// Terminal states are final; finished jobs are retained FIFO up to
+// maxFinishedJobs and then forgotten (polling a forgotten or never
+// issued id is 404 unknown_job). Submissions whose key matches an
+// unfinished job coalesce onto it — N identical submissions share one
+// search — and a submission whose result is already cached is born
+// done.
+
+const (
+	jobPending = "pending"
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+
+	// maxFinishedJobs bounds completed-job retention; the oldest
+	// finished job is dropped first. Unfinished jobs are never dropped.
+	maxFinishedJobs = 256
+)
+
+// JobStatus is the body of GET /v1/jobs/{id} and of the 202 returned
+// by an async submission.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Explored and BestCost mirror the running search's progress
+	// (nodes expanded; incumbent cost at the nominal point); absent
+	// until the search reports its first expansion.
+	Explored int64    `json:"explored,omitempty"`
+	BestCost *float64 `json:"best_cost,omitempty"`
+	// Result is the OptimizeResponse, present when State is "done" —
+	// byte-identical to the body a synchronous /v1/optimize returns.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is present when State is "failed".
+	Error *ErrorBody `json:"error,omitempty"`
+}
+
+// job is one async optimize execution.
+type job struct {
+	id  string
+	key resultcache.Key
+
+	mu     sync.Mutex
+	state  string
+	result json.RawMessage // compact OptimizeResponse (no trailing newline)
+	errBdy *ErrorBody
+
+	explored atomic.Int64
+	bestBits atomic.Uint64
+	hasBest  atomic.Bool
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	st := JobStatus{ID: j.id, State: j.state, Result: j.result, Error: j.errBdy}
+	j.mu.Unlock()
+	st.Explored = j.explored.Load()
+	if j.hasBest.Load() {
+		v := math.Float64frombits(j.bestBits.Load())
+		st.BestCost = &v
+	}
+	return st
+}
+
+func (j *job) setState(s string) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// jobManager owns the job table. Coalescing is keyed on the same
+// content-addressed key the result cache uses.
+type jobManager struct {
+	mu       sync.Mutex
+	jobs     map[string]*job
+	byKey    map[resultcache.Key]*job // unfinished jobs only
+	finished []string                 // FIFO eviction order
+	seq      int64
+
+	sem    chan struct{} // bounds concurrently *running* jobs
+	active atomic.Int64  // jobs currently in "running"
+	wg     sync.WaitGroup
+}
+
+func newJobManager(maxJobs int) *jobManager {
+	return &jobManager{
+		jobs:  map[string]*job{},
+		byKey: map[resultcache.Key]*job{},
+		sem:   make(chan struct{}, maxJobs),
+	}
+}
+
+// get returns the job by id.
+func (m *jobManager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// newJob registers a fresh job in the given initial state; terminal
+// initial states (a cache-hit birth) go straight to the finished FIFO.
+func (m *jobManager) newJob(key resultcache.Key, state string) *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	j := &job{id: fmt.Sprintf("opt-%06d", m.seq), key: key, state: state}
+	m.jobs[j.id] = j
+	if state == jobDone || state == jobFailed {
+		m.retireLocked(j)
+	} else {
+		m.byKey[key] = j
+	}
+	return j
+}
+
+// finish moves a job to a terminal state and applies retention.
+func (m *jobManager) finish(j *job, result json.RawMessage, errBody *ErrorBody) {
+	j.mu.Lock()
+	if errBody != nil {
+		j.state, j.errBdy = jobFailed, errBody
+	} else {
+		j.state, j.result = jobDone, result
+	}
+	j.mu.Unlock()
+	m.mu.Lock()
+	if m.byKey[j.key] == j {
+		delete(m.byKey, j.key)
+	}
+	m.retireLocked(j)
+	m.mu.Unlock()
+}
+
+// retireLocked appends to the finished FIFO and evicts beyond the
+// retention cap. Caller holds m.mu.
+func (m *jobManager) retireLocked(j *job) {
+	m.finished = append(m.finished, j.id)
+	for len(m.finished) > maxFinishedJobs {
+		delete(m.jobs, m.finished[0])
+		m.finished = m.finished[1:]
+	}
+}
+
+// submitOptimize handles POST /v1/optimize?async=1 after the request
+// has been decoded, validated, and key-addressed by handleOptimize.
+func (s *Server) submitOptimize(req OptimizeRequest, target *perfpredict.Target, key resultcache.Key) (any, *apiError) {
+	// Coalesce onto an unfinished job for the same work.
+	s.jobs.mu.Lock()
+	if j, ok := s.jobs.byKey[key]; ok {
+		s.jobs.mu.Unlock()
+		s.jobEvents.With("coalesced").Inc()
+		return statusResponse{http.StatusAccepted, j.status()}, nil
+	}
+	s.jobs.mu.Unlock()
+
+	// Work already cached: the job is born done. (The cached bytes are
+	// a full response body with trailing newline; Result embeds the
+	// compact document.)
+	if s.results != nil {
+		if b, ok := s.results.Get(key); ok {
+			j := s.jobs.newJob(key, jobDone)
+			j.result = bytes.TrimSuffix(b, []byte("\n"))
+			s.jobEvents.With("cache_hit").Inc()
+			return statusResponse{http.StatusAccepted, j.status()}, nil
+		}
+	}
+
+	j := s.jobs.newJob(key, jobPending)
+	s.jobEvents.With("submitted").Inc()
+	s.jobs.wg.Add(1)
+	go s.runJob(j, req, target)
+	return statusResponse{http.StatusAccepted, j.status()}, nil
+}
+
+// runJob executes one async job on its own goroutine: acquire a job
+// slot, run the search under the job timeout on a background context
+// (the submitting client is long gone), publish progress, land the
+// response in the result cache, finish.
+func (s *Server) runJob(j *job, req OptimizeRequest, target *perfpredict.Target) {
+	defer s.jobs.wg.Done()
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.With().Inc()
+			s.jobEvents.With("failed").Inc()
+			s.jobs.finish(j, nil, &ErrorBody{Code: CodeInternal,
+				Message: fmt.Sprintf("job panic: %v", p)})
+			debug.PrintStack()
+		}
+	}()
+	s.jobs.sem <- struct{}{}
+	defer func() { <-s.jobs.sem }()
+	j.setState(jobRunning)
+	s.jobs.active.Add(1)
+	defer s.jobs.active.Add(-1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	defer cancel()
+	res, err := perfpredict.OptimizeCtx(ctx, req.Source, target, req.Nominal,
+		perfpredict.OptimizeOptions{
+			Workers:   s.boundWorkers(0),
+			SegCache:  s.seg,
+			NestCache: s.nest,
+			MaxNodes:  req.MaxNodes,
+			MaxDepth:  req.MaxDepth,
+			Progress: func(explored int, best float64) {
+				j.explored.Store(int64(explored))
+				j.bestBits.Store(math.Float64bits(best))
+				j.hasBest.Store(true)
+			},
+		})
+	if err != nil {
+		code := CodeBadProgram
+		if errors.Is(err, context.DeadlineExceeded) {
+			code = CodeDeadlineExceeded
+		}
+		s.jobEvents.With("failed").Inc()
+		s.jobs.finish(j, nil, &ErrorBody{Code: code, Message: err.Error()})
+		return
+	}
+	body := marshalBody(OptimizeResponse{
+		Machine:         target.Name,
+		Source:          res.Source,
+		Transformations: res.Transformations,
+		PredictedBefore: res.PredictedBefore,
+		PredictedAfter:  res.PredictedAfter,
+		Explored:        res.Explored,
+	})
+	if s.results != nil {
+		s.results.Put(j.key, body)
+	}
+	s.jobEvents.With("completed").Inc()
+	s.jobs.finish(j, bytes.TrimSuffix(body, []byte("\n")), nil)
+}
+
+// handleJobGet serves GET /v1/jobs/{id}.
+func (s *Server) handleJobGet(r *http.Request) (any, *apiError) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		return nil, errUnknownJob(r.PathValue("id"))
+	}
+	return j.status(), nil
+}
+
+// DrainJobs blocks until every spawned job goroutine has finished or
+// ctx expires — the shutdown step between http.Server.Shutdown and
+// the cache snapshot, so async results make it into the snapshot.
+func (s *Server) DrainJobs(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.jobs.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -102,11 +102,16 @@ func TestMetricsExactCountsAfterScriptedSequence(t *testing.T) {
 	expectSample(t, got, `predictd_request_seconds_count{endpoint="batch"}`, "1")
 	expectSample(t, got, `predictd_request_seconds_count{endpoint="optimize"}`, "1")
 
-	// Cache delta: the first predict priced the program's segments
-	// (misses only); the second identical predict and the identical
-	// batch slot hit every one of those segments and miss nothing, so
-	// misses are frozen at the mid-scrape value and hits grow by
-	// exactly 2 lookups per segment priced.
+	// Cache deltas. The first predict is a result-cache miss that
+	// prices the program's segments (seg misses only). The second
+	// identical predict is a result-cache hit: it never reaches the
+	// library, so the segment cache is untouched. The batch carries
+	// the same source but is a different request kind (BatchKey ≠
+	// PredictKey), so it misses the result cache, recomputes — and
+	// every segment lookup hits the warm segment cache. Net: seg
+	// misses frozen at the mid-scrape value, seg hits grow by exactly
+	// 1 lookup per segment priced, and the result cache shows 1 hit /
+	// 2 misses (the 400s and the 404 fail before key construction).
 	misses := mid["predictd_seg_cache_misses"]
 	if misses == "0" {
 		t.Fatal("first predict priced no segments — workload too trivial to test cache deltas")
@@ -115,8 +120,38 @@ func TestMetricsExactCountsAfterScriptedSequence(t *testing.T) {
 	if mid["predictd_seg_cache_hits"] != "0" {
 		t.Errorf("hits after one cold predict = %s, want 0", mid["predictd_seg_cache_hits"])
 	}
-	wantHits := atoiMul(t, misses, 2)
+	wantHits := atoiMul(t, misses, 1)
 	expectSample(t, got, "predictd_seg_cache_hits", wantHits)
+	expectSample(t, got, "predictd_result_cache_hits", "1")
+	expectSample(t, got, "predictd_result_cache_misses", "2")
+	expectSample(t, got, "predictd_result_cache_entries", "2")
+	expectSample(t, got, "predictd_singleflight_shared_total", "0")
+}
+
+// TestMetricsCacheDisabled pins the escape hatch: with the result
+// cache off, repeated identical predicts recompute (seg hits grow)
+// and the result-cache gauges stay at zero.
+func TestMetricsCacheDisabled(t *testing.T) {
+	ts := httptest.NewServer(New(Config{DisableResultCache: true}).Handler())
+	defer ts.Close()
+	body := `{"source":"program p\ninteger i\nreal a(8)\ndo i = 1, 8\na(i) = a(i) * 2.0\nenddo\nend\n"}`
+	for i := 0; i < 2; i++ {
+		resp, err := ts.Client().Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	got := scrape(t, ts)
+	expectSample(t, got, "predictd_result_cache_hits", "0")
+	expectSample(t, got, "predictd_result_cache_misses", "0")
+	expectSample(t, got, "predictd_result_cache_entries", "0")
+	if got["predictd_seg_cache_hits"] == "0" {
+		t.Error("second identical predict did not recompute with the result cache disabled")
+	}
 }
 
 // TestMetricsShedExactCount occupies the whole admission semaphore

@@ -26,6 +26,7 @@ import (
 
 	"perfpredict"
 	"perfpredict/internal/obs"
+	"perfpredict/internal/resultcache"
 )
 
 // Config tunes the service. The zero value is usable: defaults are
@@ -46,6 +47,23 @@ type Config struct {
 	Workers int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// ResultCacheBytes bounds the content-addressed result cache that
+	// fronts every endpoint with finished response bodies. Default 0 =
+	// 64 MiB.
+	ResultCacheBytes int64
+	// DisableResultCache turns the result cache and its singleflight
+	// request coalescing off: every request recomputes. Responses are
+	// byte-identical either way; this knob exists for measurement and
+	// as an escape hatch.
+	DisableResultCache bool
+	// MaxJobs bounds concurrently *running* async optimize jobs
+	// (further accepted jobs queue in "pending"). Default 2, so
+	// background searches cannot starve interactive traffic.
+	MaxJobs int
+	// JobTimeout is the deadline for one async job's search — async
+	// work outlives the submitting request, so the request Timeout
+	// does not apply. Default 5m.
+	JobTimeout time.Duration
 }
 
 func (c *Config) defaults() {
@@ -58,6 +76,12 @@ func (c *Config) defaults() {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 2
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
 }
 
 // Server is the handler stack plus its shared warm state.
@@ -66,15 +90,24 @@ type Server struct {
 	seg  *perfpredict.SegmentCache
 	nest *perfpredict.NestCache
 
+	// results fronts every endpoint with finished response bodies
+	// (nil when disabled); flights coalesces concurrent identical
+	// misses; jobs owns the async optimize executions.
+	results *resultcache.Cache
+	flights resultcache.Group
+	jobs    *jobManager
+
 	sem      chan struct{}
 	inflight atomic.Int64
 	draining atomic.Bool
 
-	metrics *obs.Registry
-	reqs    *obs.CounterVec
-	lat     *obs.HistogramVec
-	shed    *obs.CounterVec
-	panics  *obs.CounterVec
+	metrics   *obs.Registry
+	reqs      *obs.CounterVec
+	lat       *obs.HistogramVec
+	shed      *obs.CounterVec
+	panics    *obs.CounterVec
+	sfShared  *obs.CounterVec
+	jobEvents *obs.CounterVec
 
 	mux *http.ServeMux
 }
@@ -91,13 +124,18 @@ func New(cfg Config) *Server {
 		cfg:  cfg,
 		seg:  perfpredict.NewSegmentCache(),
 		nest: perfpredict.NewNestCache(),
+		jobs: newJobManager(cfg.MaxJobs),
 		sem:  make(chan struct{}, cfg.MaxInflight),
+	}
+	if !cfg.DisableResultCache {
+		s.results = resultcache.New(cfg.ResultCacheBytes)
 	}
 	s.initMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.Handle("/v1/predict", s.endpoint("predict", s.handlePredict))
 	s.mux.Handle("/v1/batch", s.endpoint("batch", s.handleBatch))
 	s.mux.Handle("/v1/optimize", s.endpoint("optimize", s.handleOptimize))
+	s.mux.Handle("GET /v1/jobs/{id}", s.getEndpoint("jobs", s.handleJobGet))
 	s.mux.Handle("/metrics", s.metrics.Handler())
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -106,6 +144,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if s.draining.Load() {
+			// Draining ends in process exit; tell balancers when to
+			// re-probe rather than letting them guess.
+			w.Header().Set("Retry-After", "5")
 			w.WriteHeader(statusUnavailable)
 			fmt.Fprintln(w, "draining")
 			return
@@ -150,7 +191,42 @@ func (s *Server) initMetrics() {
 	s.metrics.GaugeFunc("predictd_nest_cache_misses",
 		"Cumulative misses in the shared loop-nest cost cache.",
 		func() float64 { _, m := s.nest.Stats(); return float64(m) })
+	s.sfShared = s.metrics.Counter("predictd_singleflight_shared_total",
+		"Requests that waited on (and shared) another in-flight identical computation.")
+	s.jobEvents = s.metrics.Counter("predictd_jobs_total",
+		"Async optimize job events: submitted, coalesced, cache_hit, completed, failed.",
+		"event")
+	s.metrics.GaugeFunc("predictd_jobs_active",
+		"Async optimize jobs currently running a search.",
+		func() float64 { return float64(s.jobs.active.Load()) })
+	rcStat := func(f func(resultcache.Stats) int64) func() float64 {
+		return func() float64 {
+			if s.results == nil {
+				return 0
+			}
+			return float64(f(s.results.Stats()))
+		}
+	}
+	s.metrics.GaugeFunc("predictd_result_cache_hits",
+		"Cumulative hits in the content-addressed result cache (0 when disabled).",
+		rcStat(func(st resultcache.Stats) int64 { return st.Hits }))
+	s.metrics.GaugeFunc("predictd_result_cache_misses",
+		"Cumulative misses in the content-addressed result cache (0 when disabled).",
+		rcStat(func(st resultcache.Stats) int64 { return st.Misses }))
+	s.metrics.GaugeFunc("predictd_result_cache_entries",
+		"Response bodies currently held by the result cache.",
+		rcStat(func(st resultcache.Stats) int64 { return st.Entries }))
+	s.metrics.GaugeFunc("predictd_result_cache_bytes",
+		"Bytes (payload + bookkeeping overhead) held by the result cache.",
+		rcStat(func(st resultcache.Stats) int64 { return st.Bytes }))
+	s.metrics.GaugeFunc("predictd_result_cache_evictions",
+		"Cumulative result-cache entries evicted to respect the byte budget.",
+		rcStat(func(st resultcache.Stats) int64 { return st.Evictions }))
 }
+
+// Results exposes the result cache (nil when disabled); the binary's
+// snapshot boot/drain path and the e2e suite use it directly.
+func (s *Server) Results() *resultcache.Cache { return s.results }
 
 // Handler returns the fully wired handler stack.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -187,6 +263,10 @@ func (s *Server) endpoint(name string, fn func(r *http.Request) (any, *apiError)
 		default:
 			s.shed.With(name).Inc()
 			code = statusUnavailable
+			// Shedding is a transient burst condition: steer retries
+			// to after the in-flight work drains instead of an
+			// immediate hammer.
+			w.Header().Set("Retry-After", "1")
 			s.writeError(w, code, CodeOverloaded, "server at capacity, retry later")
 			return
 		}
@@ -214,9 +294,59 @@ func (s *Server) endpoint(name string, fn func(r *http.Request) (any, *apiError)
 			s.writeError(w, aerr.status, aerr.code, aerr.msg)
 			return
 		}
-		code = http.StatusOK
-		w.Header().Set("Content-Type", "application/json")
+		code = writeSuccess(w, resp)
+	})
+}
+
+// writeSuccess renders a handler's success value: pre-encoded bytes
+// from the result cache verbatim, a statusResponse with its chosen
+// code (e.g. 202 for accepted jobs), anything else as a 200 through
+// the single marshalBody encoder. Returns the status written.
+func writeSuccess(w http.ResponseWriter, resp any) int {
+	w.Header().Set("Content-Type", "application/json")
+	switch v := resp.(type) {
+	case rawResponse:
+		w.Write(v)
+		return http.StatusOK
+	case statusResponse:
+		w.WriteHeader(v.status)
+		w.Write(marshalBody(v.body))
+		return v.status
+	default:
 		w.Write(marshalBody(resp))
+		return http.StatusOK
+	}
+}
+
+// getEndpoint wraps a read-only handler with the slim middleware
+// stack: metrics and panic isolation only. Polling endpoints skip
+// admission deliberately — a client watching a job must not compete
+// with (or be shed by) the compute traffic, and the handlers behind
+// this read in-memory state without touching the request body.
+func (s *Server) getEndpoint(name string, fn func(r *http.Request) (any, *apiError)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		code := 0
+		defer func() {
+			s.reqs.With(name, strconv.Itoa(code)).Inc()
+			s.lat.With(name).Observe(time.Since(start).Seconds())
+		}()
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.With().Inc()
+				code = statusInternalFailure
+				s.writeError(w, code, CodeInternal,
+					fmt.Sprintf("handler panic: %v", p))
+				debug.PrintStack()
+			}
+		}()
+		resp, aerr := fn(r)
+		if aerr != nil {
+			code = aerr.status
+			s.writeError(w, aerr.status, aerr.code, aerr.msg)
+			return
+		}
+		code = writeSuccess(w, resp)
 	})
 }
 

@@ -87,6 +87,13 @@ type SearchOptions struct {
 	// bleed into each other's deltas; the costs themselves never
 	// depend on cache state).
 	Caches aggregate.Caches
+	// Progress, when non-nil, is called after every node expansion
+	// with the number of states expanded so far and the incumbent
+	// (best fully priced) cost. It runs on the search goroutine, so
+	// implementations must be fast and must not call back into the
+	// search; it exists so long-running searches can be observed —
+	// async job status in the serving layer reads exactly this.
+	Progress func(explored int, best float64)
 	// Workers bounds the concurrency of neighbor expansion: the
 	// candidate variants of each expanded state are transformed and
 	// priced on a worker pool sharing the search's segment and nest
@@ -303,6 +310,9 @@ func SearchCtx(ctx context.Context, p *source.Program, opt SearchOptions) (Searc
 		}
 		cur := heap.Pop(h).(*state)
 		explored++
+		if opt.Progress != nil {
+			opt.Progress(explored, best.cost)
+		}
 		if len(cur.seq) >= opt.MaxDepth {
 			continue
 		}

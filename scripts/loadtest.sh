@@ -1,7 +1,10 @@
 #!/bin/sh
 # Load test for the prediction service: runs the in-process load
 # generator at 2x the admission capacity for a fixed duration and
-# writes latency/throughput/shed-rate figures to BENCH_serve.json.
+# writes latency/throughput/shed-rate figures — plus the cold/warm
+# result-cache split (cold_rps/warm_rps/warm_speedup: the same
+# uniquely keyed requests driven as all-misses, then as all-hits) —
+# to BENCH_serve.json.
 # Non-gating in CI — the numbers are a trajectory, not a threshold.
 #
 # Usage: scripts/loadtest.sh [extra loadgen flags]
