@@ -131,6 +131,11 @@ type Prediction struct {
 	Cost Expression
 	// OneTime is the hoisted loop-invariant part, included in Cost.
 	OneTime Expression
+	// Memory is the cache/TLB miss share of Cost (§2.3: distinct-line
+	// counts × the spec's miss penalties), included in Cost. It is
+	// zero unless the target declares a memory hierarchy with nonzero
+	// penalties; Cost − Memory is the in-core (scheduling) term.
+	Memory Expression
 	// Unknowns lists Cost's variables.
 	Unknowns []Unknown
 
@@ -154,6 +159,17 @@ func PredictWithOptions(src string, target *Target, opt aggregate.Options) (*Pre
 // predicted cycles. Probability unknowns default to 0.5 when absent;
 // other missing unknowns are an error.
 func (p *Prediction) EvalAt(values map[string]float64) (float64, error) {
+	return p.Cost.Eval(p.assignFor(values))
+}
+
+// EvalMemoryAt evaluates the memory-hierarchy component of the
+// prediction at the same point (and with the same probability
+// defaulting) as EvalAt. Zero for hierarchy-less targets.
+func (p *Prediction) EvalMemoryAt(values map[string]float64) (float64, error) {
+	return p.Memory.Eval(p.assignFor(values))
+}
+
+func (p *Prediction) assignFor(values map[string]float64) map[symexpr.Var]float64 {
 	assign := map[symexpr.Var]float64{}
 	for k, v := range values {
 		assign[symexpr.Var(k)] = v
@@ -166,7 +182,7 @@ func (p *Prediction) EvalAt(values map[string]float64) (float64, error) {
 			assign[symexpr.Var(u.Name)] = 0.5
 		}
 	}
-	return p.Cost.Eval(assign)
+	return assign
 }
 
 // Sensitivity ranks the unknowns by how strongly a ±delta relative
@@ -310,6 +326,11 @@ type OptimizeResult struct {
 	// PredictedBefore and PredictedAfter are cycles at the nominal
 	// point.
 	PredictedBefore, PredictedAfter float64
+	// MemoryBefore and MemoryAfter are the memory-hierarchy share of
+	// the respective predictions at the same nominal point — how much
+	// of the cost (and of the win) came from cache behavior. Zero for
+	// targets without an active hierarchy.
+	MemoryBefore, MemoryAfter float64
 	// Explored counts search states expanded.
 	Explored int
 	// SegCacheHits/SegCacheMisses count straight-line segment lookups

@@ -99,6 +99,7 @@ func predictWithCache(src string, target *Target, opt aggregate.Options, cache *
 	p := &Prediction{
 		Cost:    res.Cost,
 		OneTime: res.OneTime,
+		Memory:  res.Memory,
 		prog:    prog,
 		tbl:     tbl,
 		mach:    target,

@@ -126,6 +126,8 @@ func OptimizeCtx(ctx context.Context, src string, target *Target, nominal map[st
 		Source:          source.PrintProgram(res.Best),
 		PredictedBefore: res.InitialCost,
 		PredictedAfter:  res.BestCost,
+		MemoryBefore:    res.InitialMemory,
+		MemoryAfter:     res.BestMemory,
 		Explored:        res.Explored,
 		SegCacheHits:    res.CacheHits,
 		SegCacheMisses:  res.CacheMisses,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"perfpredict/internal/cachemodel"
+	"perfpredict/internal/machine"
 	"perfpredict/internal/sem"
 	"perfpredict/internal/source"
 	"perfpredict/internal/symexpr"
@@ -164,9 +165,11 @@ type CacheConfig struct {
 }
 
 // DefaultCache is the POWER1-class data cache (64 KiB, 128-byte lines,
-// 15-cycle fill).
+// 15-cycle fill), derived from the same hierarchy spec the machine
+// model uses so the two can never drift apart.
 func DefaultCache() CacheConfig {
-	return CacheConfig{SizeBytes: 64 << 10, LineBytes: 128, MissPenalty: 15}
+	l := machine.POWER1Memory().Levels[0]
+	return CacheConfig{SizeBytes: l.SizeBytes, LineBytes: l.LineBytes, MissPenalty: l.MissPenalty}
 }
 
 // tripPoly converts a loop's trip count to a symbolic polynomial.

@@ -40,11 +40,12 @@ var experiments = []experiment{
 	{"E13", "§3.3.1: incremental prediction update (segment cache)", expE13},
 	{"E14", "Efficiency: predictor vs simulator throughput", expE14},
 	{"E15", "Portability: one source, three architecture descriptions", expE15},
+	{"E16", "§2.3 integrated: in-core vs memory cost components end to end", expE16},
 	{"A1", "Ablations: what each model ingredient contributes", expA1},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1..E15, A1) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1..E16, A1) or 'all'")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 	if *list {

@@ -75,6 +75,10 @@ func main() {
 	}
 	fmt.Printf("machine:      %s\n", target.Name)
 	fmt.Printf("cost:         %s cycles\n", pred.Cost)
+	if !pred.Memory.IsZero() {
+		fmt.Printf("  in-core:    %s\n", pred.Cost.Sub(pred.Memory))
+		fmt.Printf("  memory:     %s\n", pred.Memory)
+	}
 	if c, ok := pred.OneTime.IsConst(); ok && c > 0 {
 		fmt.Printf("one-time:     %.0f cycles (hoisted loop invariants)\n", c)
 	}
@@ -90,6 +94,11 @@ func main() {
 			fatalf("eval: %v", err)
 		}
 		fmt.Printf("at %v:   %.0f cycles\n", args, v)
+		if !pred.Memory.IsZero() {
+			if mv, merr := pred.EvalMemoryAt(args); merr == nil {
+				fmt.Printf("  memory:     %.0f cycles\n", mv)
+			}
+		}
 	}
 	if *block {
 		rep, err := perfpredict.AnalyzeInnermostBlock(src, target)

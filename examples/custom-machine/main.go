@@ -95,4 +95,39 @@ func main() {
 	v1, _ := p1.EvalAt(nil)
 	v2, _ := p2.EvalAt(nil)
 	fmt.Printf("\nPOWER2F speedup over POWER1 on matmul: %.2fx\n", v1/v2)
+
+	// Memory-hierarchy what-if: power1mem.json is the same POWER1 cost
+	// table with the documented cache hierarchy attached (64 KiB, 128 B
+	// lines, 15-cycle fill, 128-entry TLB). Predictions then carry a
+	// separate memory component — and hierarchy edits move only it.
+	memTarget, err := perfpredict.LoadTarget("power1mem.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	halved, err := perfpredict.LoadTarget("power1mem.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	halved.Memory.Levels[0].LineBytes /= 2
+	if err := halved.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nhierarchy what-if on matmul (in-core + memory cycles):")
+	for _, row := range []struct {
+		label  string
+		target *perfpredict.Target
+	}{
+		{"128B lines", memTarget},
+		{" 64B lines", halved},
+	} {
+		pred, err := perfpredict.Predict(matmul, row.target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total, _ := pred.EvalAt(nil)
+		mem, _ := pred.EvalMemoryAt(nil)
+		fmt.Printf("  %s: %6.0f in-core + %5.0f memory = %6.0f cycles\n",
+			row.label, total-mem, mem, total)
+	}
+	fmt.Println("halving the line size doubles the line-fill term and leaves the in-core cycles untouched")
 }

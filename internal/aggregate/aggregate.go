@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"perfpredict/internal/cachemodel"
 	"perfpredict/internal/ir"
 	"perfpredict/internal/lower"
 	"perfpredict/internal/machine"
@@ -74,6 +75,10 @@ type Result struct {
 	// OneTime is the hoisted (loop-invariant) cost, already included
 	// in Cost.
 	OneTime symexpr.Poly
+	// Memory is the §2.3 cache/TLB miss cost, already included in
+	// Cost. Zero unless the machine declares an active memory
+	// hierarchy; Cost − Memory is the in-core (Tetris) term.
+	Memory symexpr.Poly
 	// Unknowns lists the variables appearing in Cost.
 	Unknowns []Unknown
 }
@@ -266,7 +271,7 @@ func (e *Estimator) Program(p *source.Program) (Result, error) {
 		// unknown, so conservatively include the term fully.
 		total = total.Add(g.poly)
 	}
-	return Result{Cost: total, OneTime: pre, Unknowns: e.unknowns}, nil
+	return Result{Cost: total, OneTime: pre, Memory: c.mem, Unknowns: e.unknowns}, nil
 }
 
 // Stmts aggregates a statement list under the given enclosing loops
@@ -289,7 +294,7 @@ func (e *Estimator) Stmts(stmts []source.Stmt, loops []LoopCtx) (Result, error) 
 	for _, g := range c.guarded {
 		total = total.Add(g.poly)
 	}
-	return Result{Cost: total, OneTime: pre, Unknowns: e.unknowns}, nil
+	return Result{Cost: total, OneTime: pre, Memory: c.mem, Unknowns: e.unknowns}, nil
 }
 
 // LoopCtx describes one enclosing loop for fragment-level estimation.
@@ -304,10 +309,14 @@ type LoopCtx struct {
 // iteration of the enclosing loop), an entry polynomial charged once
 // per activation of the innermost enclosing loop (register-promotion
 // loads/stores), plus guarded terms that an enclosing loop converts
-// into restricted sums.
+// into restricted sums. mem shadows the memory-hierarchy share of
+// base: it is *included* in base, so every existing combination rule
+// stays valid, and is carried separately only so the final Result can
+// report the in-core vs memory split.
 type cost struct {
 	base    symexpr.Poly
 	entry   symexpr.Poly
+	mem     symexpr.Poly
 	guarded []guardedTerm
 }
 
@@ -322,6 +331,7 @@ func (c cost) add(d cost) cost {
 	return cost{
 		base:    c.base.Add(d.base),
 		entry:   c.entry.Add(d.entry),
+		mem:     c.mem.Add(d.mem),
 		guarded: append(append([]guardedTerm{}, c.guarded...), d.guarded...),
 	}
 }
@@ -548,6 +558,17 @@ func (e *Estimator) loop(l *source.DoLoop, loops []LoopCtx, path []int) (cost, e
 	// The body's per-entry cost (promotion loads/stores) runs once per
 	// activation of this loop, i.e. once per iteration of the parent.
 	out.base = out.base.Add(bodyCost.entry)
+	// The memory shadow is part of bodyCost.base and so already summed
+	// into out.base; sum it separately to keep the split consistent.
+	// (Memory is only ever charged at nest roots, so this is zero for
+	// every nested loop today.)
+	if !bodyCost.mem.IsZero() {
+		ms, _, err := symexpr.SumOverStep(bodyCost.mem, lv, lbP, ubP, step)
+		if err != nil {
+			return cost{}, err
+		}
+		out.mem = out.mem.Add(ms)
+	}
 
 	// Guarded terms: restrict the iteration range when the guard tests
 	// this loop's variable; otherwise sum and propagate.
@@ -566,7 +587,75 @@ func (e *Estimator) loop(l *source.DoLoop, loops []LoopCtx, path []int) (cost, e
 		}
 		out.base = out.base.Add(restricted)
 	}
+
+	// At a nest root (no enclosing loop) of a machine with an active
+	// memory hierarchy, fold the symbolic §2.3 miss cost for the whole
+	// nest — every cache level's distinct-line count times its miss
+	// penalty, plus the TLB term — into the nest's price. Inactive
+	// hierarchies skip the pass entirely so that their predictions
+	// (including unknown-registration order) stay byte-identical to a
+	// machine with no hierarchy.
+	if len(loops) == 0 && e.m.Memory.Active() {
+		memP, err := e.nestMemory(l)
+		if err != nil {
+			return cost{}, err
+		}
+		if !memP.IsZero() {
+			out.base = out.base.Add(memP)
+			out.mem = out.mem.Add(memP)
+		}
+	}
 	return out, nil
+}
+
+// nestMemory prices the memory traffic of one top-level loop nest:
+// the subtree's loops (including imperfectly nested and branch-local
+// ones) are collected with their symbolic bounds and handed to the
+// cachemodel's per-level line counter. Loop variables reused by
+// sibling loops keep their first-seen bounds — an approximation the
+// concrete estimator shares.
+func (e *Estimator) nestMemory(l *source.DoLoop) (symexpr.Poly, error) {
+	var nest []cachemodel.NestLoop
+	e.collectMemLoops(l, &nest, map[string]bool{})
+	memP, err := cachemodel.NestMemoryCycles(e.tbl, nest, l.Body, e.m.Memory)
+	if err != nil {
+		return symexpr.Poly{}, fmt.Errorf("%s: memory cost of nest %s: %w", l.Pos, l.Var, err)
+	}
+	return memP, nil
+}
+
+// collectMemLoops walks a loop subtree outermost-first, recording each
+// loop's variable and normalized symbolic bounds for the memory model.
+func (e *Estimator) collectMemLoops(l *source.DoLoop, out *[]cachemodel.NestLoop, seen map[string]bool) {
+	lbP := e.exprPoly(l.Lb, nil)
+	ubP := e.exprPoly(l.Ub, nil)
+	step := 1
+	if l.Step != nil {
+		if c, ok := e.tbl.IntConst(l.Step); ok && c != 0 {
+			step = int(c)
+		}
+	}
+	if step < 0 {
+		lbP, ubP = ubP, lbP
+		step = -step
+	}
+	if !seen[l.Var] {
+		seen[l.Var] = true
+		*out = append(*out, cachemodel.NestLoop{Var: l.Var, Lb: lbP, Ub: ubP, Step: step})
+	}
+	var walk func(stmts []source.Stmt)
+	walk = func(stmts []source.Stmt) {
+		for _, s := range stmts {
+			switch x := s.(type) {
+			case *source.DoLoop:
+				e.collectMemLoops(x, out, seen)
+			case *source.IfStmt:
+				walk(x.Then)
+				walk(x.Else)
+			}
+		}
+	}
+	walk(l.Body)
 }
 
 // restrictedSum computes Σ over the guard-limited range, assuming (as
@@ -722,6 +811,7 @@ func (e *Estimator) ifStmt(s *source.IfStmt, loops []LoopCtx) (cost, error) {
 		closeEnough(tb, eb, e.opt.CloseTol)
 	if e.opt.SimplifyCloseBranches && branchesClose {
 		out.base = out.base.AddConst((tb + eb) / 2)
+		out.mem = thenCost.mem.Add(elseCost.mem).Scale(0.5)
 		return out, nil
 	}
 
@@ -730,6 +820,9 @@ func (e *Estimator) ifStmt(s *source.IfStmt, loops []LoopCtx) (cost, error) {
 	if v, rel, bound, ok := e.loopIndexCond(s.Cond, loops); ok {
 		out.guarded = append(out.guarded, guardsFor(v, rel, bound, thenCost)...)
 		out.guarded = append(out.guarded, guardsFor(v, negateRel(rel), bound, elseCost)...)
+		// Memory is charged only at nest roots, and this split requires
+		// an enclosing loop, so the branch mem shadows are zero here.
+		out.mem = thenCost.mem.Add(elseCost.mem)
 		return out, nil
 	}
 
@@ -740,6 +833,7 @@ func (e *Estimator) ifStmt(s *source.IfStmt, loops []LoopCtx) (cost, error) {
 		out.base = out.base.
 			Add(thenCost.base.Scale(p)).
 			Add(elseCost.base.Scale(1 - p))
+		out.mem = thenCost.mem.Scale(p).Add(elseCost.mem.Scale(1 - p))
 		out.guarded = append(out.guarded, scaleGuards(thenCost.guarded, p)...)
 		out.guarded = append(out.guarded, scaleGuards(elseCost.guarded, 1-p)...)
 		return out, nil
@@ -749,6 +843,7 @@ func (e *Estimator) ifStmt(s *source.IfStmt, loops []LoopCtx) (cost, error) {
 	if e.opt.AssumeBranchProb > 0 {
 		p := e.opt.AssumeBranchProb
 		out.base = out.base.Add(thenCost.base.Scale(p)).Add(elseCost.base.Scale(1 - p))
+		out.mem = thenCost.mem.Scale(p).Add(elseCost.mem.Scale(1 - p))
 		out.guarded = append(out.guarded, scaleGuards(thenCost.guarded, p)...)
 		out.guarded = append(out.guarded, scaleGuards(elseCost.guarded, 1-p)...)
 		return out, nil
@@ -759,6 +854,7 @@ func (e *Estimator) ifStmt(s *source.IfStmt, loops []LoopCtx) (cost, error) {
 	out.base = out.base.
 		Add(thenCost.base.Mul(p)).
 		Add(elseCost.base.Mul(oneMinus))
+	out.mem = thenCost.mem.Mul(p).Add(elseCost.mem.Mul(oneMinus))
 	for _, g := range thenCost.guarded {
 		out.guarded = append(out.guarded, guardedTerm{g.loopVar, g.rel, g.bound, g.poly.Mul(p)})
 	}

@@ -102,6 +102,7 @@ type regEvent struct {
 type nestEntry struct {
 	base    symexpr.Poly
 	entry   symexpr.Poly
+	mem     symexpr.Poly
 	guarded []guardedTerm
 	pres    []float64
 	events  []regEvent
@@ -124,6 +125,7 @@ func (e *Estimator) captureNest(m recMark, c cost) *nestEntry {
 	ent := &nestEntry{
 		base:   c.base,
 		entry:  c.entry,
+		mem:    c.mem,
 		pres:   append([]float64(nil), e.preVals[m.pre:]...),
 		events: append([]regEvent(nil), e.events[m.ev:]...),
 	}
@@ -157,13 +159,14 @@ func (e *Estimator) splice(ent *nestEntry) cost {
 			ren[ev.v] = nv
 		}
 	}
-	c := cost{base: ent.base, entry: ent.entry}
+	c := cost{base: ent.base, entry: ent.entry, mem: ent.mem}
 	if len(ent.guarded) > 0 {
 		c.guarded = append([]guardedTerm(nil), ent.guarded...)
 	}
 	if ren != nil {
 		c.base = symexpr.RenameVars(c.base, ren)
 		c.entry = symexpr.RenameVars(c.entry, ren)
+		c.mem = symexpr.RenameVars(c.mem, ren)
 		for i := range c.guarded {
 			c.guarded[i].bound = symexpr.RenameVars(c.guarded[i].bound, ren)
 			c.guarded[i].poly = symexpr.RenameVars(c.guarded[i].poly, ren)
@@ -213,6 +216,12 @@ func (e *Estimator) nestKey(l *source.DoLoop, loops []LoopCtx) source.Fingerprin
 		if names[lc.Var] {
 			fp = fp.MixString(lc.Var)
 		}
+	}
+	// A nest priced at the top level of a memory-active machine carries
+	// the hierarchy charge; the identical subtree nested inside another
+	// loop does not. Mark root pricings so the two can never alias.
+	if len(loops) == 0 && e.m.Memory.Active() {
+		fp = fp.MixString("memroot")
 	}
 	return fp.Mix(source.FingerprintEnvFor(e.prog, names))
 }

@@ -1,0 +1,112 @@
+package aggregate_test
+
+import (
+	"fmt"
+	"testing"
+
+	"perfpredict/internal/aggregate"
+	"perfpredict/internal/kernels"
+	"perfpredict/internal/machine"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+	"perfpredict/internal/xform"
+)
+
+// fuseSrc has two adjacent conformable loops — none of the embedded
+// kernels offers the search a fusion move, so this supplies one.
+const fuseSrc = `
+program fusion
+  integer i, n
+  parameter (n = 64)
+  real a(65), b(65)
+  do i = 1, n
+    a(i) = a(i) + 1.0
+  end do
+  do i = 1, n
+    b(i) = b(i) * 2.0
+  end do
+end
+`
+
+// TestIncrementalMatchesFullWithMemory is the memory flavor of the
+// incremental ≡ full contract, exercised across every transformation
+// kind the search proposes: with the POWER1 hierarchy active, a
+// variant priced incrementally through caches warmed on the original
+// program must equal a from-scratch pricing byte for byte — cost,
+// one-time, and the memory component. This is what the nest cache's
+// memroot marker and the captured mem shadow exist to guarantee.
+func TestIncrementalMatchesFullWithMemory(t *testing.T) {
+	m := machine.ReferencePOWER1()
+	m.Memory = machine.POWER1Memory()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opt := aggregate.DefaultOptions()
+	sig := func(r aggregate.Result) string {
+		return fmt.Sprintf("cost=%s|onetime=%s|mem=%s|unknowns=%+v", r.Cost, r.OneTime, r.Memory, r.Unknowns)
+	}
+
+	type unit struct {
+		name string
+		prog *source.Program
+		tbl  *sem.Table
+	}
+	var units []unit
+	for _, k := range kernels.All() {
+		p, tbl, err := k.Parse()
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		units = append(units, unit{k.Name, p, tbl})
+	}
+	fp, err := source.Parse(fuseSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftbl, err := sem.Analyze(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units = append(units, unit{"fusion", fp, ftbl})
+
+	kindsSeen := map[string]int{}
+	for _, k := range units {
+		p, tbl := k.prog, k.tbl
+		caches := aggregate.Caches{Seg: aggregate.NewSegCache(), Nest: aggregate.NewNestCache()}
+		if _, err := aggregate.PriceIncremental(p, nil, caches, tbl, m, opt); err != nil {
+			t.Fatalf("%s: warm pricing: %v", k.name, err)
+		}
+		for _, mv := range xform.Moves(p, xform.SearchOptions{
+			Machine: m, UnrollFactors: []int{2, 4}, TileSizes: []int{16},
+		}) {
+			variant, err := xform.Apply(p, mv)
+			if err != nil {
+				// Structural filters are cheap by design; an illegal
+				// move is not this test's concern.
+				continue
+			}
+			vtbl, err := sem.Analyze(variant)
+			if err != nil {
+				continue
+			}
+			inc, err := aggregate.PriceIncremental(variant, [][]int{mv.Path}, caches, vtbl, m, opt)
+			if err != nil {
+				t.Fatalf("%s: incremental after %s: %v", k.name, mv, err)
+			}
+			full, err := aggregate.New(vtbl, m, opt).Program(variant)
+			if err != nil {
+				t.Fatalf("%s: full after %s: %v", k.name, mv, err)
+			}
+			if got, want := sig(inc), sig(full); got != want {
+				t.Errorf("%s: %s: incremental diverged from full with memory active:\n got %s\nwant %s",
+					k.name, mv, got, want)
+			}
+			kindsSeen[mv.Kind]++
+		}
+	}
+	for _, kind := range []string{"unroll", "interchange", "tile", "fuse", "distribute"} {
+		if kindsSeen[kind] == 0 {
+			t.Errorf("no kernel produced a %q move; the move-kind coverage of this test regressed", kind)
+		}
+	}
+}

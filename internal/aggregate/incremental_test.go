@@ -13,7 +13,7 @@ import (
 // resultSignature renders every observable field of a Result so tests
 // can assert byte-identical pricing.
 func resultSignature(r Result) string {
-	return fmt.Sprintf("cost=%s|onetime=%s|unknowns=%+v", r.Cost, r.OneTime, r.Unknowns)
+	return fmt.Sprintf("cost=%s|onetime=%s|mem=%s|unknowns=%+v", r.Cost, r.OneTime, r.Memory, r.Unknowns)
 }
 
 // TestPriceIncrementalMatchesFull prices every embedded kernel three

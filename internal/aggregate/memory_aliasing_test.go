@@ -1,0 +1,128 @@
+package aggregate
+
+import (
+	"testing"
+
+	"perfpredict/internal/kernels"
+	"perfpredict/internal/machine"
+)
+
+// power1WithMemory returns the reference machine with the documented
+// POWER1 hierarchy attached — same Name, same cost table, so only the
+// Memory section distinguishes it from ReferencePOWER1.
+func power1WithMemory(t *testing.T, l1Penalty int64) *machine.Machine {
+	t.Helper()
+	m := machine.ReferencePOWER1()
+	m.Memory = machine.POWER1Memory()
+	m.Memory.Levels[0].MissPenalty = l1Penalty
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMemorySectionSeparatesFingerprints: the content fingerprint must
+// distinguish a machine without a hierarchy from the same machine with
+// one, and two machines whose hierarchies differ only in a penalty.
+// Every content-addressed key in the system (SegCache, NestCache,
+// resultcache) derives from this fingerprint.
+func TestMemorySectionSeparatesFingerprints(t *testing.T) {
+	base := machine.ReferencePOWER1()
+	mem := power1WithMemory(t, 15)
+	slow := power1WithMemory(t, 30)
+	if base.Fingerprint() == mem.Fingerprint() {
+		t.Error("attaching a memory hierarchy did not change the fingerprint")
+	}
+	if mem.Fingerprint() == slow.Fingerprint() {
+		t.Error("changing the L1 miss penalty did not change the fingerprint")
+	}
+}
+
+// TestCachesKeyOnMemorySection is the memory flavor of the
+// cache-aliasing regression: two machines identical except for the
+// Memory section share one SegCache/NestCache pair, warmed by the
+// memoryless machine first. The hierarchy-bearing machine must not
+// read the memoryless machine's cached nest prices (or vice versa).
+func TestCachesKeyOnMemorySection(t *testing.T) {
+	base := machine.ReferencePOWER1()
+	mem := power1WithMemory(t, 15)
+
+	distinguished := 0
+	for _, k := range kernels.All() {
+		p, tbl, err := k.Parse()
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		opt := DefaultOptions()
+
+		wantBase, err := New(tbl, base, opt).Program(p)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		wantMem, err := New(tbl, mem, opt).Program(p)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if resultSignature(wantBase) == resultSignature(wantMem) {
+			// A kernel with no array traffic can't distinguish the
+			// machines; it proves nothing about aliasing either way.
+			continue
+		}
+		distinguished++
+
+		caches := Caches{Seg: NewSegCache(), Nest: NewNestCache()}
+		gotBase, err := PriceIncremental(p, nil, caches, tbl, base, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		gotMem, err := PriceIncremental(p, nil, caches, tbl, mem, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if resultSignature(gotBase) != resultSignature(wantBase) {
+			t.Errorf("%s: memoryless machine with shared caches diverged from oracle:\n got %s\nwant %s",
+				k.Name, resultSignature(gotBase), resultSignature(wantBase))
+		}
+		if resultSignature(gotMem) != resultSignature(wantMem) {
+			t.Errorf("%s: hierarchy machine read the memoryless machine's cache entries:\n got %s\nwant %s",
+				k.Name, resultSignature(gotMem), resultSignature(wantMem))
+		}
+	}
+	if distinguished == 0 {
+		t.Fatal("no kernel's prediction changed when the POWER1 hierarchy was attached; the memory term is dead")
+	}
+}
+
+// TestZeroPenaltyHierarchyIsInert: a hierarchy whose penalties are all
+// zero prices byte-identically to no hierarchy at all, on every
+// embedded kernel. This is the compatibility half of the contract —
+// attaching geometry without costs must not perturb predictions.
+func TestZeroPenaltyHierarchyIsInert(t *testing.T) {
+	base := machine.ReferencePOWER1()
+	zero := machine.ReferencePOWER1()
+	zero.Memory = machine.POWER1Memory()
+	zero.Memory.Levels[0].MissPenalty = 0
+	zero.Memory.TLB.MissPenalty = 0
+	if err := zero.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	for _, k := range kernels.All() {
+		p, tbl, err := k.Parse()
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		want, err := New(tbl, base, opt).Program(p)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		got, err := New(tbl, zero, opt).Program(p)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if resultSignature(got) != resultSignature(want) {
+			t.Errorf("%s: zero-penalty hierarchy perturbed the prediction:\n got %s\nwant %s",
+				k.Name, resultSignature(got), resultSignature(want))
+		}
+	}
+}

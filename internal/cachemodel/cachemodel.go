@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"perfpredict/internal/machine"
 	"perfpredict/internal/sem"
 	"perfpredict/internal/source"
 	"perfpredict/internal/symexpr"
@@ -32,12 +33,10 @@ type Config struct {
 	TLBPenalty   int64
 }
 
-// DefaultConfig matches cachesim.POWER1D plus its TLB.
+// DefaultConfig is the POWER1 data cache plus its TLB, derived from
+// the declared hierarchy rather than hand-maintained constants.
 func DefaultConfig() Config {
-	return Config{
-		SizeBytes: 64 << 10, LineBytes: 128, ElemBytes: 8, MissPenalty: 15,
-		TLBPageBytes: 4096, TLBEntries: 128, TLBPenalty: 36,
-	}
+	return ConfigFromHierarchy(machine.POWER1Memory())
 }
 
 // Loop describes one nest level (outermost first) with concrete trip

@@ -46,6 +46,15 @@
 //   - result-cache-identical (CheckResultCache): the serving stack's
 //     response bytes with the result cache disabled, cold, and warm
 //     are identical on generated programs × generated inline specs.
+//
+// Memory hierarchies (CheckMemory):
+//
+//   - memory-monotone-size: growing a cache level never raises the
+//     predicted cost.
+//   - memory-monotone-penalty: shrinking miss penalties never raises
+//     the predicted cost.
+//   - memory-zero-identical: an all-zero-penalty hierarchy prices
+//     byte-identically to no hierarchy at all.
 package invariants
 
 import (
@@ -433,6 +442,7 @@ func Run(n int, baseSeed int64, cfg Config) Summary {
 		if i%8 == 0 {
 			s.Violations = append(s.Violations, CheckProgram(seed)...)
 			s.Violations = append(s.Violations, CheckResultCache(seed)...)
+			s.Violations = append(s.Violations, CheckMemory(seed)...)
 		}
 		s.Samples++
 	}

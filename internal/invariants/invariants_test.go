@@ -63,3 +63,15 @@ func TestCheckProgramSeeds(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckMemorySeeds(t *testing.T) {
+	n := int64(50)
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(0); seed < n; seed++ {
+		for _, v := range CheckMemory(seed) {
+			t.Errorf("%s", v)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package invariants
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"perfpredict/internal/aggregate"
+	"perfpredict/internal/machine"
+	"perfpredict/internal/progen"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+	"perfpredict/internal/symexpr"
+)
+
+// genMemory draws a random valid memory hierarchy. It takes the
+// caller's rand but is only ever fed a rand private to CheckMemory —
+// progen.GenSpec's draw sequence (which gates the pinned approx/exact
+// corpus) must stay untouched by the memory suite.
+func genMemory(r *rand.Rand) *machine.MemoryHierarchy {
+	assocs := []int{1, 2, 4}
+	line := int64(8) << r.Intn(5)        // 8..128 bytes
+	lines := int64(1) << (r.Intn(6) + 3) // 8..256 lines per cache
+	h := &machine.MemoryHierarchy{
+		ElemBytes: 8,
+		Levels: []machine.CacheLevel{{
+			Name:        "L1",
+			SizeBytes:   line * lines,
+			LineBytes:   line,
+			Assoc:       assocs[r.Intn(len(assocs))],
+			MissPenalty: int64(r.Intn(60)),
+		}},
+	}
+	if r.Intn(2) == 0 {
+		h.TLB = &machine.TLBGeometry{
+			PageBytes:   4096,
+			Entries:     int64(16) << r.Intn(4),
+			Assoc:       assocs[r.Intn(len(assocs))],
+			MissPenalty: int64(r.Intn(120)),
+		}
+	}
+	return h
+}
+
+// CheckMemory runs the memory-model invariant suite for one seed: a
+// generated loop-nest program priced on the reference machine under a
+// generated hierarchy and under monotone perturbations of it.
+//
+//   - memory-monotone-size: growing a cache level never raises the
+//     predicted cost at a positive evaluation point.
+//   - memory-monotone-penalty: shrinking miss penalties never raises
+//     the predicted cost.
+//   - memory-zero-identical: a hierarchy whose penalties are all zero
+//     prices byte-identically to no hierarchy at all.
+func CheckMemory(seed int64) []Violation {
+	var vs []Violation
+	fail := func(inv, format string, a ...any) {
+		vs = append(vs, Violation{Invariant: inv, Seed: seed, Detail: fmt.Sprintf(format, a...)})
+	}
+	r := progen.NewRand(seed)
+	src := progen.GenProgram(r, progen.ProgramConfig{})
+	prog, err := source.Parse(src)
+	if err != nil {
+		fail("memory-gen-program", "parse: %v\n%s", err, src)
+		return vs
+	}
+	tbl, err := sem.Analyze(prog)
+	if err != nil {
+		fail("memory-gen-program", "analyze: %v\n%s", err, src)
+		return vs
+	}
+	h := genMemory(r)
+
+	opt := aggregate.DefaultOptions()
+	price := func(mem *machine.MemoryHierarchy) (aggregate.Result, error) {
+		m := machine.ReferencePOWER1()
+		m.Memory = mem
+		if err := m.Validate(); err != nil {
+			return aggregate.Result{}, fmt.Errorf("hierarchy rejected: %w", err)
+		}
+		return aggregate.New(tbl, m, opt).Program(prog)
+	}
+	eval := func(res aggregate.Result) float64 {
+		assign := map[symexpr.Var]float64{}
+		for _, v := range res.Cost.Vars() {
+			assign[v] = 64
+		}
+		c, err := res.Cost.Eval(assign)
+		if err != nil {
+			fail("memory-eval", "cost eval: %v", err)
+			return math.NaN()
+		}
+		return c
+	}
+
+	resH, err := price(h)
+	if err != nil {
+		fail("memory-price", "%v", err)
+		return vs
+	}
+	costH := eval(resH)
+
+	// memory-monotone-size: double every cache level.
+	big := h.Clone()
+	for i := range big.Levels {
+		big.Levels[i].SizeBytes *= 2
+	}
+	if resBig, err := price(big); err != nil {
+		fail("memory-monotone-size", "%v", err)
+	} else if c := eval(resBig); c > costH+1e-9 {
+		fail("memory-monotone-size", "doubling cache sizes raised cost %.3f -> %.3f\n%s", costH, c, src)
+	}
+
+	// memory-monotone-penalty: halve every penalty.
+	cheap := h.Clone()
+	for i := range cheap.Levels {
+		cheap.Levels[i].MissPenalty /= 2
+	}
+	if cheap.TLB != nil {
+		cheap.TLB.MissPenalty /= 2
+	}
+	if resCheap, err := price(cheap); err != nil {
+		fail("memory-monotone-penalty", "%v", err)
+	} else if c := eval(resCheap); c > costH+1e-9 {
+		fail("memory-monotone-penalty", "halving penalties raised cost %.3f -> %.3f\n%s", costH, c, src)
+	}
+
+	// memory-zero-identical: all penalties zero ≡ no hierarchy.
+	zero := h.Clone()
+	for i := range zero.Levels {
+		zero.Levels[i].MissPenalty = 0
+	}
+	if zero.TLB != nil {
+		zero.TLB.MissPenalty = 0
+	}
+	resZero, err := price(zero)
+	if err != nil {
+		fail("memory-zero-identical", "%v", err)
+		return vs
+	}
+	resNil, err := price(nil)
+	if err != nil {
+		fail("memory-zero-identical", "%v", err)
+		return vs
+	}
+	sig := func(res aggregate.Result) string {
+		return fmt.Sprintf("cost=%s|onetime=%s|mem=%s", res.Cost, res.OneTime, res.Memory)
+	}
+	if sig(resZero) != sig(resNil) {
+		fail("memory-zero-identical", "zero-penalty hierarchy diverged from no hierarchy:\n zero %s\n  nil %s\n%s",
+			sig(resZero), sig(resNil), src)
+	}
+	return vs
+}

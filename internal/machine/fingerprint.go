@@ -35,6 +35,29 @@ func (m *Machine) Fingerprint() source.Fingerprint {
 	fp = fp.MixUint64(uint64(int64(m.LoadsPerStore)))
 	fp = fp.MixUint64(uint64(int64(m.BranchCost)))
 
+	// The memory hierarchy is mixed only when declared, so machines
+	// without one keep their historical fingerprints (and their warm
+	// cache entries), while two machines that differ only in the
+	// hierarchy can never alias.
+	if h := m.Memory; h != nil {
+		fp = fp.MixString("memory/v1").MixUint64(uint64(int64(h.ElemBytes)))
+		fp = fp.MixUint64(uint64(len(h.Levels)))
+		for _, l := range h.Levels {
+			fp = fp.MixString(l.Name).
+				MixUint64(uint64(l.SizeBytes)).
+				MixUint64(uint64(l.LineBytes)).
+				MixUint64(uint64(int64(l.Assoc))).
+				MixUint64(uint64(l.MissPenalty))
+		}
+		if t := h.TLB; t != nil {
+			fp = fp.MixString("tlb").
+				MixUint64(uint64(t.PageBytes)).
+				MixUint64(uint64(t.Entries)).
+				MixUint64(uint64(int64(t.Assoc))).
+				MixUint64(uint64(t.MissPenalty))
+		}
+	}
+
 	kinds := make([]string, 0, len(m.UnitCounts))
 	for k := range m.UnitCounts {
 		kinds = append(kinds, string(k))

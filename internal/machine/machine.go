@@ -113,6 +113,10 @@ type Machine struct {
 	// cost aggregation when the branch shape test says the branch is
 	// not hidden.
 	BranchCost int
+	// Memory is the declared cache/TLB hierarchy, or nil when the
+	// machine prices every load as an L1 hit. When set, aggregation
+	// folds the symbolic §2.3 miss cost into each top-level nest.
+	Memory *MemoryHierarchy
 }
 
 // Units returns the unit instances of the machine in a stable order,
@@ -189,6 +193,11 @@ func (m *Machine) Validate() error {
 	for k, c := range m.UnitCounts {
 		if c <= 0 {
 			return fmt.Errorf("machine %s: unit %s count %d", m.Name, k, c)
+		}
+	}
+	if m.Memory != nil {
+		if err := SpecOfHierarchy(m.Memory).Validate(m.Name); err != nil {
+			return err
 		}
 	}
 	for _, op := range ir.AllOps() {

@@ -1,0 +1,232 @@
+package machine
+
+import "fmt"
+
+// MemorySpec is the declarative memory hierarchy of a machine spec:
+// the §2.3 cost category made data. When present, the aggregation
+// layer folds a symbolic cache-miss term (distinct-line count × miss
+// penalty, per level) into every top-level loop nest's price; when
+// absent, predictions are byte-identical to a hierarchy-less machine —
+// all loads priced as L1 hits, exactly the pre-memory behavior.
+type MemorySpec struct {
+	// Levels lists the cache levels nearest-first (L1, L2, …).
+	Levels []CacheLevelSpec `json:"levels"`
+	// TLB, when present, adds a page-granular term.
+	TLB *TLBSpec `json:"tlb,omitempty"`
+	// ElemBytes is the array element size the line model divides by
+	// (REAL = 8). Zero means 8.
+	ElemBytes int `json:"elem_bytes,omitempty"`
+}
+
+// CacheLevelSpec is one cache level's geometry and miss price.
+type CacheLevelSpec struct {
+	Name      string `json:"name"`
+	SizeBytes int    `json:"size_bytes"`
+	LineBytes int    `json:"line_bytes"`
+	// Assoc is the set associativity; it must divide the line count
+	// (the simulator's constraint, kept here so spec-derived simulator
+	// configs are always constructible).
+	Assoc int `json:"assoc"`
+	// MissPenalty is the line-fill cost in cycles. Zero prices the
+	// level out entirely — useful for what-ifs.
+	MissPenalty int `json:"miss_penalty"`
+}
+
+// TLBSpec is the translation-lookaside geometry.
+type TLBSpec struct {
+	PageBytes   int `json:"page_bytes"`
+	Entries     int `json:"entries"`
+	Assoc       int `json:"assoc"`
+	MissPenalty int `json:"miss_penalty"`
+}
+
+// Validate checks the invariants the memory model and the spec-derived
+// simulator configs depend on.
+func (ms *MemorySpec) Validate(specName string) error {
+	if len(ms.Levels) == 0 {
+		return fmt.Errorf("machine spec %s: memory section has no cache levels", specName)
+	}
+	elem := ms.ElemBytes
+	if elem == 0 {
+		elem = 8
+	}
+	if elem < 0 {
+		return fmt.Errorf("machine spec %s: memory elem_bytes %d, want > 0", specName, ms.ElemBytes)
+	}
+	prevSize := 0
+	for i, l := range ms.Levels {
+		if l.Name == "" {
+			return fmt.Errorf("machine spec %s: memory level %d has no name", specName, i)
+		}
+		if l.SizeBytes <= 0 || l.LineBytes <= 0 {
+			return fmt.Errorf("machine spec %s: memory level %s: size %d, line %d, want > 0", specName, l.Name, l.SizeBytes, l.LineBytes)
+		}
+		if l.SizeBytes%l.LineBytes != 0 {
+			return fmt.Errorf("machine spec %s: memory level %s: size %d not a multiple of line %d", specName, l.Name, l.SizeBytes, l.LineBytes)
+		}
+		if l.LineBytes%elem != 0 {
+			return fmt.Errorf("machine spec %s: memory level %s: line %d not a multiple of elem_bytes %d", specName, l.Name, l.LineBytes, elem)
+		}
+		lines := l.SizeBytes / l.LineBytes
+		if l.Assoc <= 0 || lines%l.Assoc != 0 {
+			return fmt.Errorf("machine spec %s: memory level %s: assoc %d must be positive and divide the %d lines", specName, l.Name, l.Assoc, lines)
+		}
+		if l.MissPenalty < 0 {
+			return fmt.Errorf("machine spec %s: memory level %s: miss penalty %d, want >= 0", specName, l.Name, l.MissPenalty)
+		}
+		if l.SizeBytes < prevSize {
+			return fmt.Errorf("machine spec %s: memory level %s: size %d smaller than the previous level's %d", specName, l.Name, l.SizeBytes, prevSize)
+		}
+		prevSize = l.SizeBytes
+	}
+	if t := ms.TLB; t != nil {
+		if t.PageBytes <= 0 || t.Entries <= 0 {
+			return fmt.Errorf("machine spec %s: TLB page %d, entries %d, want > 0", specName, t.PageBytes, t.Entries)
+		}
+		if t.Assoc <= 0 || t.Entries%t.Assoc != 0 {
+			return fmt.Errorf("machine spec %s: TLB assoc %d must be positive and divide the %d entries", specName, t.Assoc, t.Entries)
+		}
+		if t.MissPenalty < 0 {
+			return fmt.Errorf("machine spec %s: TLB miss penalty %d, want >= 0", specName, t.MissPenalty)
+		}
+	}
+	return nil
+}
+
+// MemoryHierarchy is the runtime form of MemorySpec, carried on
+// Machine. Nil means "no hierarchy declared" and is semantically
+// distinct from an all-zero-penalty hierarchy only in that both
+// produce identical prices; cache keys distinguish them via the
+// fingerprint.
+type MemoryHierarchy struct {
+	Levels    []CacheLevel
+	TLB       *TLBGeometry
+	ElemBytes int // resolved: always >= 1
+}
+
+// CacheLevel is one runtime cache level.
+type CacheLevel struct {
+	Name        string
+	SizeBytes   int64
+	LineBytes   int64
+	Assoc       int
+	MissPenalty int64
+}
+
+// TLBGeometry is the runtime TLB description.
+type TLBGeometry struct {
+	PageBytes   int64
+	Entries     int64
+	Assoc       int
+	MissPenalty int64
+}
+
+// Hierarchy builds the runtime hierarchy. The spec must already have
+// been validated.
+func (ms *MemorySpec) Hierarchy() *MemoryHierarchy {
+	if ms == nil {
+		return nil
+	}
+	h := &MemoryHierarchy{
+		Levels:    make([]CacheLevel, len(ms.Levels)),
+		ElemBytes: ms.ElemBytes,
+	}
+	if h.ElemBytes <= 0 {
+		h.ElemBytes = 8
+	}
+	for i, l := range ms.Levels {
+		h.Levels[i] = CacheLevel{
+			Name:        l.Name,
+			SizeBytes:   int64(l.SizeBytes),
+			LineBytes:   int64(l.LineBytes),
+			Assoc:       l.Assoc,
+			MissPenalty: int64(l.MissPenalty),
+		}
+	}
+	if t := ms.TLB; t != nil {
+		h.TLB = &TLBGeometry{
+			PageBytes:   int64(t.PageBytes),
+			Entries:     int64(t.Entries),
+			Assoc:       t.Assoc,
+			MissPenalty: int64(t.MissPenalty),
+		}
+	}
+	return h
+}
+
+// SpecOfHierarchy is the inverse of Hierarchy, for SpecOf.
+func SpecOfHierarchy(h *MemoryHierarchy) *MemorySpec {
+	if h == nil {
+		return nil
+	}
+	ms := &MemorySpec{
+		Levels:    make([]CacheLevelSpec, len(h.Levels)),
+		ElemBytes: h.ElemBytes,
+	}
+	for i, l := range h.Levels {
+		ms.Levels[i] = CacheLevelSpec{
+			Name:        l.Name,
+			SizeBytes:   int(l.SizeBytes),
+			LineBytes:   int(l.LineBytes),
+			Assoc:       l.Assoc,
+			MissPenalty: int(l.MissPenalty),
+		}
+	}
+	if t := h.TLB; t != nil {
+		ms.TLB = &TLBSpec{
+			PageBytes:   int(t.PageBytes),
+			Entries:     int(t.Entries),
+			Assoc:       t.Assoc,
+			MissPenalty: int(t.MissPenalty),
+		}
+	}
+	return ms
+}
+
+// Active reports whether the hierarchy can contribute a nonzero
+// price: at least one level or the TLB has a nonzero miss penalty.
+// An inactive hierarchy (nil, or all penalties zero) must leave
+// predictions byte-identical to a machine with no hierarchy at all,
+// so the aggregation layer skips the memory pass entirely when false.
+func (h *MemoryHierarchy) Active() bool {
+	if h == nil {
+		return false
+	}
+	for _, l := range h.Levels {
+		if l.MissPenalty != 0 {
+			return true
+		}
+	}
+	return h.TLB != nil && h.TLB.MissPenalty != 0
+}
+
+// Clone returns an independently mutable copy.
+func (h *MemoryHierarchy) Clone() *MemoryHierarchy {
+	if h == nil {
+		return nil
+	}
+	c := &MemoryHierarchy{
+		Levels:    append([]CacheLevel(nil), h.Levels...),
+		ElemBytes: h.ElemBytes,
+	}
+	if h.TLB != nil {
+		t := *h.TLB
+		c.TLB = &t
+	}
+	return c
+}
+
+// POWER1Memory returns the documented POWER1 data-side hierarchy: a
+// 64 KiB four-way data cache with 128-byte lines and a 15-cycle line
+// fill, plus a 128-entry two-way TLB over 4 KiB pages with a 36-cycle
+// reload (the geometry of cachesim.POWER1D/POWER1TLB and the former
+// cachemodel.DefaultConfig, now spec-derived).
+func POWER1Memory() *MemoryHierarchy {
+	return &MemoryHierarchy{
+		Levels: []CacheLevel{
+			{Name: "L1D", SizeBytes: 64 << 10, LineBytes: 128, Assoc: 4, MissPenalty: 15},
+		},
+		TLB:       &TLBGeometry{PageBytes: 4096, Entries: 128, Assoc: 2, MissPenalty: 36},
+		ElemBytes: 8,
+	}
+}

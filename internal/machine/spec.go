@@ -39,6 +39,10 @@ type Spec struct {
 	// Ops is the atomic operation mapping: basic-op mnemonic (ir.Op
 	// spelling) to its serially executed atomic expansion.
 	Ops map[string][]AtomicOpSpec `json:"ops"`
+	// Memory, when present, declares the cache/TLB hierarchy and makes
+	// the §2.3 memory term part of every prediction. Absent means all
+	// loads are priced as L1 hits (the historical behavior).
+	Memory *MemorySpec `json:"memory,omitempty"`
 }
 
 // AtomicOpSpec is one costed atomic operation of an expansion.
@@ -116,6 +120,11 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("machine spec %s: unit %s count %d, want > 0", s.Name, k, c)
 		}
 	}
+	if s.Memory != nil {
+		if err := s.Memory.Validate(s.Name); err != nil {
+			return err
+		}
+	}
 	for name := range s.Ops {
 		if _, ok := ir.ParseOp(name); !ok {
 			return fmt.Errorf("machine spec %s: unknown basic operation %q", s.Name, name)
@@ -186,6 +195,7 @@ func (s *Spec) Machine() (*Machine, error) {
 		LoadsPerStore: s.LoadsPerStore,
 		BranchCost:    s.BranchCost,
 		Table:         make(map[ir.Op][]AtomicOp, len(s.Ops)),
+		Memory:        s.Memory.Hierarchy(),
 	}
 	for k, c := range s.Units {
 		m.UnitCounts[UnitKind(k)] = c
@@ -219,6 +229,7 @@ func SpecOf(m *Machine) *Spec {
 		BranchCost:    m.BranchCost,
 		Units:         make(map[string]int, len(m.UnitCounts)),
 		Ops:           make(map[string][]AtomicOpSpec, len(m.Table)),
+		Memory:        SpecOfHierarchy(m.Memory),
 	}
 	for k, c := range m.UnitCounts {
 		s.Units[string(k)] = c

@@ -177,8 +177,48 @@ func InvalidMutations(s *machine.Spec) []Mutation {
 			}
 		}},
 	}
-	out := make([]Mutation, 0, len(muts))
+	// Memory-section mutations: attach a minimal valid hierarchy, then
+	// break one rule. The base spec carries no memory section, so each
+	// of these exercises exactly the named memory validator rule.
+	attachMem := func(c *machine.Spec) *machine.MemorySpec {
+		c.Memory = &machine.MemorySpec{
+			Levels: []machine.CacheLevelSpec{
+				{Name: "L1", SizeBytes: 8192, LineBytes: 64, Assoc: 2, MissPenalty: 10},
+			},
+		}
+		return c.Memory
+	}
+	memMuts := []struct {
+		name  string
+		apply func(c *machine.Spec)
+	}{
+		{"memory-no-levels", func(c *machine.Spec) { attachMem(c).Levels = nil }},
+		{"memory-unnamed-level", func(c *machine.Spec) { attachMem(c).Levels[0].Name = "" }},
+		{"memory-zero-line", func(c *machine.Spec) { attachMem(c).Levels[0].LineBytes = 0 }},
+		{"memory-size-not-line-multiple", func(c *machine.Spec) { attachMem(c).Levels[0].SizeBytes = 8190 }},
+		{"memory-line-not-elem-multiple", func(c *machine.Spec) {
+			m := attachMem(c)
+			m.Levels[0].SizeBytes, m.Levels[0].LineBytes = 480, 60
+		}},
+		{"memory-negative-penalty", func(c *machine.Spec) { attachMem(c).Levels[0].MissPenalty = -1 }},
+		{"memory-assoc-nondivisor", func(c *machine.Spec) { attachMem(c).Levels[0].Assoc = 3 }},
+		{"memory-shrinking-levels", func(c *machine.Spec) {
+			m := attachMem(c)
+			m.Levels = append(m.Levels, machine.CacheLevelSpec{
+				Name: "L2", SizeBytes: 4096, LineBytes: 64, Assoc: 2, MissPenalty: 40,
+			})
+		}},
+		{"memory-bad-tlb", func(c *machine.Spec) {
+			attachMem(c).TLB = &machine.TLBSpec{PageBytes: 0, Entries: 4, Assoc: 2}
+		}},
+	}
+	out := make([]Mutation, 0, len(muts)+len(memMuts))
 	for _, m := range muts {
+		c := cloneSpec(s)
+		m.apply(c)
+		out = append(out, Mutation{Name: m.name, Spec: c})
+	}
+	for _, m := range memMuts {
 		c := cloneSpec(s)
 		m.apply(c)
 		out = append(out, Mutation{Name: m.name, Spec: c})

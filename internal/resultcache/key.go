@@ -58,7 +58,7 @@ func mixFloatMap(fp source.Fingerprint, m map[string]float64, present bool) sour
 // structure × machine content × the evaluation point (args may be nil
 // for "no evaluation", which differs from an empty map).
 func PredictKey(prog, mach source.Fingerprint, args map[string]float64) Key {
-	fp := source.Fingerprint{}.MixString("resultcache/predict/v1")
+	fp := source.Fingerprint{}.MixString("resultcache/predict/v2")
 	fp = fp.Mix(prog).Mix(mach)
 	fp = mixFloatMap(fp, args, args != nil)
 	return keyOf(fp)
@@ -69,7 +69,7 @@ func PredictKey(prog, mach source.Fingerprint, args map[string]float64) Key {
 // machine, and the shared evaluation point. Worker counts are
 // excluded: results are byte-identical for any worker count.
 func BatchKey(progs []source.Fingerprint, mach source.Fingerprint, args map[string]float64) Key {
-	fp := source.Fingerprint{}.MixString("resultcache/batch/v1")
+	fp := source.Fingerprint{}.MixString("resultcache/batch/v2")
 	fp = fp.MixUint64(uint64(len(progs)))
 	for _, p := range progs {
 		fp = fp.Mix(p)
@@ -86,7 +86,7 @@ func BatchKey(progs []source.Fingerprint, mach source.Fingerprint, args map[stri
 // warm-cache handles are excluded: search trajectories are
 // cache-state independent by the library's contract.
 func OptimizeKey(prog, mach source.Fingerprint, nominal map[string]float64, maxNodes, maxDepth int) Key {
-	fp := source.Fingerprint{}.MixString("resultcache/optimize/v1")
+	fp := source.Fingerprint{}.MixString("resultcache/optimize/v2")
 	fp = fp.Mix(prog).Mix(mach)
 	fp = mixFloatMap(fp, nominal, nominal != nil)
 	fp = fp.MixUint64(uint64(int64(maxNodes))).MixUint64(uint64(int64(maxDepth)))

@@ -1,0 +1,48 @@
+package resultcache_test
+
+import (
+	"testing"
+
+	"perfpredict/internal/machine"
+	"perfpredict/internal/resultcache"
+	"perfpredict/internal/source"
+)
+
+// TestKeysSeparateMemorySections: two machine specs identical except
+// for the memory section must produce distinct result-cache keys for
+// every request kind. A shared result cache serving both specs would
+// otherwise replay one hierarchy's response bytes for the other.
+func TestKeysSeparateMemorySections(t *testing.T) {
+	plain := machine.SpecOf(machine.NewPOWER1())
+	withMem := machine.SpecOf(machine.NewPOWER1())
+	withMem.Memory = machine.SpecOfHierarchy(machine.POWER1Memory())
+	if err := withMem.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	mPlain, err := plain.Machine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mMem, err := withMem.Machine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpPlain, fpMem := mPlain.Fingerprint(), mMem.Fingerprint()
+	if fpPlain == fpMem {
+		t.Fatal("machine fingerprints collide across memory sections; key separation is impossible")
+	}
+
+	prog := source.Fingerprint{}.MixString("some program")
+	args := map[string]float64{"n": 1000}
+	if resultcache.PredictKey(prog, fpPlain, args) == resultcache.PredictKey(prog, fpMem, args) {
+		t.Error("PredictKey aliases across memory sections")
+	}
+	progs := []source.Fingerprint{prog}
+	if resultcache.BatchKey(progs, fpPlain, args) == resultcache.BatchKey(progs, fpMem, args) {
+		t.Error("BatchKey aliases across memory sections")
+	}
+	if resultcache.OptimizeKey(prog, fpPlain, args, 0, 0) == resultcache.OptimizeKey(prog, fpMem, args, 0, 0) {
+		t.Error("OptimizeKey aliases across memory sections")
+	}
+}

@@ -176,6 +176,8 @@ func TestE2EOptimizeEqualsLibrary(t *testing.T) {
 			Transformations: res.Transformations,
 			PredictedBefore: res.PredictedBefore,
 			PredictedAfter:  res.PredictedAfter,
+			MemoryBefore:    res.MemoryBefore,
+			MemoryAfter:     res.MemoryAfter,
 			Explored:        res.Explored,
 		})
 		if !bytes.Equal(got, want) {

@@ -37,13 +37,20 @@ type UnknownJSON struct {
 	Source string `json:"source"`
 }
 
-// PredictResponse is the body of a successful /v1/predict.
+// PredictResponse is the body of a successful /v1/predict. The
+// in_core/memory pair decomposes cost (cost = in_core + memory); both
+// are present only when the target declares an active memory
+// hierarchy, so hierarchy-less responses are byte-identical to the
+// pre-memory wire format.
 type PredictResponse struct {
-	Machine  string        `json:"machine"`
-	Cost     string        `json:"cost"`
-	OneTime  string        `json:"one_time,omitempty"`
-	Unknowns []UnknownJSON `json:"unknowns,omitempty"`
-	Eval     *float64      `json:"eval,omitempty"`
+	Machine    string        `json:"machine"`
+	Cost       string        `json:"cost"`
+	InCore     string        `json:"in_core,omitempty"`
+	Memory     string        `json:"memory,omitempty"`
+	OneTime    string        `json:"one_time,omitempty"`
+	Unknowns   []UnknownJSON `json:"unknowns,omitempty"`
+	Eval       *float64      `json:"eval,omitempty"`
+	EvalMemory *float64      `json:"eval_memory,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch.
@@ -62,9 +69,11 @@ type BatchRequest struct {
 // index-aligned with the request's sources. Exactly one of Cost or
 // Error is set.
 type BatchItem struct {
-	Cost  string     `json:"cost,omitempty"`
-	Eval  *float64   `json:"eval,omitempty"`
-	Error *ErrorBody `json:"error,omitempty"`
+	Cost       string     `json:"cost,omitempty"`
+	Memory     string     `json:"memory,omitempty"`
+	Eval       *float64   `json:"eval,omitempty"`
+	EvalMemory *float64   `json:"eval_memory,omitempty"`
+	Error      *ErrorBody `json:"error,omitempty"`
 }
 
 // BatchResponse is the body of a successful /v1/batch.
@@ -96,7 +105,11 @@ type OptimizeResponse struct {
 	Transformations []string `json:"transformations,omitempty"`
 	PredictedBefore float64  `json:"predicted_before"`
 	PredictedAfter  float64  `json:"predicted_after"`
-	Explored        int      `json:"explored"`
+	// MemoryBefore/MemoryAfter are the memory-hierarchy share of the
+	// respective predictions; omitted for hierarchy-less targets.
+	MemoryBefore float64 `json:"memory_before,omitempty"`
+	MemoryAfter  float64 `json:"memory_after,omitempty"`
+	Explored     int     `json:"explored"`
 }
 
 func (s *Server) handlePredict(r *http.Request) (any, *apiError) {
@@ -129,6 +142,10 @@ func (s *Server) handlePredict(r *http.Request) (any, *apiError) {
 // body against this function applied to a direct library call.
 func buildPredictResponse(p *perfpredict.Prediction, machineName string, args map[string]float64) (PredictResponse, *apiError) {
 	resp := PredictResponse{Machine: machineName, Cost: p.Cost.String()}
+	if !p.Memory.IsZero() {
+		resp.InCore = p.Cost.Sub(p.Memory).String()
+		resp.Memory = p.Memory.String()
+	}
 	if c, ok := p.OneTime.IsConst(); !ok || c != 0 {
 		resp.OneTime = p.OneTime.String()
 	}
@@ -141,6 +158,13 @@ func buildPredictResponse(p *perfpredict.Prediction, machineName string, args ma
 			return PredictResponse{}, errBadArgs(err.Error())
 		}
 		resp.Eval = &v
+		if !p.Memory.IsZero() {
+			mv, err := p.EvalMemoryAt(args)
+			if err != nil {
+				return PredictResponse{}, errBadArgs(err.Error())
+			}
+			resp.EvalMemory = &mv
+		}
 	}
 	return resp, nil
 }
@@ -189,12 +213,22 @@ func (s *Server) handleBatch(r *http.Request) (any, *apiError) {
 // buildBatchItem is buildPredictResponse's per-slot sibling.
 func buildBatchItem(p *perfpredict.Prediction, args map[string]float64) (BatchItem, *apiError) {
 	item := BatchItem{Cost: p.Cost.String()}
+	if !p.Memory.IsZero() {
+		item.Memory = p.Memory.String()
+	}
 	if args != nil {
 		v, err := p.EvalAt(args)
 		if err != nil {
 			return BatchItem{}, errBadArgs(err.Error())
 		}
 		item.Eval = &v
+		if !p.Memory.IsZero() {
+			mv, err := p.EvalMemoryAt(args)
+			if err != nil {
+				return BatchItem{}, errBadArgs(err.Error())
+			}
+			item.EvalMemory = &mv
+		}
 	}
 	return item, nil
 }
@@ -245,6 +279,8 @@ func (s *Server) handleOptimize(r *http.Request) (any, *apiError) {
 			Transformations: res.Transformations,
 			PredictedBefore: res.PredictedBefore,
 			PredictedAfter:  res.PredictedAfter,
+			MemoryBefore:    res.MemoryBefore,
+			MemoryAfter:     res.MemoryAfter,
 			Explored:        res.Explored,
 		}, nil
 	})

@@ -250,6 +250,8 @@ func (s *Server) runJob(j *job, req OptimizeRequest, target *perfpredict.Target)
 		Transformations: res.Transformations,
 		PredictedBefore: res.PredictedBefore,
 		PredictedAfter:  res.PredictedAfter,
+		MemoryBefore:    res.MemoryBefore,
+		MemoryAfter:     res.MemoryAfter,
 		Explored:        res.Explored,
 	})
 	if s.results != nil {

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"perfpredict/internal/machine"
+)
+
+const streamSrc = `
+program stream
+  integer i, n
+  parameter (n = 1024)
+  real a(1025), b(1025)
+  do i = 1, n
+    a(i) = b(i) + 1.0
+  end do
+end
+`
+
+// memorySpec returns the POWER1 spec JSON with (or without) the
+// documented hierarchy attached.
+func memorySpec(t *testing.T, withMemory bool) []byte {
+	t.Helper()
+	s := machine.SpecOf(machine.ReferencePOWER1())
+	if withMemory {
+		s.Memory = machine.SpecOfHierarchy(machine.POWER1Memory())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestE2EPredictReportsMemoryComponents: a memory-bearing inline spec
+// must yield in_core/memory/eval_memory fields that sum consistently,
+// and the identical spec without the memory section must omit them —
+// its response bytes must not mention the fields at all.
+func TestE2EPredictReportsMemoryComponents(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	args := map[string]float64{"n": 100}
+
+	status, got := postJSON(t, ts, "/v1/predict", PredictRequest{
+		Source: streamSrc, Spec: memorySpec(t, true), Args: args,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	var resp PredictResponse
+	if err := json.Unmarshal(got, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.InCore == "" || resp.Memory == "" {
+		t.Fatalf("memory-bearing spec missing cost split: in_core=%q memory=%q", resp.InCore, resp.Memory)
+	}
+	if resp.EvalMemory == nil {
+		t.Fatal("memory-bearing spec with args missing eval_memory")
+	}
+	if *resp.EvalMemory <= 0 {
+		t.Errorf("streaming kernel priced a non-positive memory term: %v", *resp.EvalMemory)
+	}
+	if resp.Eval == nil {
+		t.Fatal("missing eval")
+	}
+	if *resp.EvalMemory >= *resp.Eval {
+		t.Errorf("memory term %v not a strict part of total %v", *resp.EvalMemory, *resp.Eval)
+	}
+
+	status, plain := postJSON(t, ts, "/v1/predict", PredictRequest{
+		Source: streamSrc, Spec: memorySpec(t, false), Args: args,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, plain)
+	}
+	for _, field := range []string{"in_core", "memory", "eval_memory"} {
+		if strings.Contains(string(plain), `"`+field+`"`) {
+			t.Errorf("hierarchy-less response carries %q — wire compatibility broken:\n%s", field, plain)
+		}
+	}
+	var plainResp PredictResponse
+	if err := json.Unmarshal(plain, &plainResp); err != nil {
+		t.Fatal(err)
+	}
+	wantInCore := *resp.Eval - *resp.EvalMemory
+	if math.Abs(*plainResp.Eval-wantInCore) > 1e-6 {
+		t.Errorf("hierarchy-less total %v != memory-bearing in-core part %v", *plainResp.Eval, wantInCore)
+	}
+}
+
+// TestE2EBatchReportsMemoryComponents: the per-item split rides
+// through /v1/batch the same way.
+func TestE2EBatchReportsMemoryComponents(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	status, got := postJSON(t, ts, "/v1/batch", BatchRequest{
+		Sources: []string{streamSrc}, Spec: memorySpec(t, true),
+		Args: map[string]float64{"n": 100},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(got, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(resp.Results))
+	}
+	item := resp.Results[0]
+	if item.Memory == "" || item.EvalMemory == nil || *item.EvalMemory <= 0 {
+		t.Errorf("batch item missing memory split: memory=%q eval_memory=%v", item.Memory, item.EvalMemory)
+	}
+}

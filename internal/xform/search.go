@@ -142,8 +142,13 @@ type SearchResult struct {
 	Best        *source.Program
 	BestCost    float64
 	InitialCost float64
-	Sequence    []Move
-	Explored    int
+	// InitialMemory and BestMemory are the memory-hierarchy share of
+	// InitialCost and BestCost at the same nominal point; zero when the
+	// machine declares no active hierarchy.
+	InitialMemory float64
+	BestMemory    float64
+	Sequence      []Move
+	Explored      int
 	// CacheHits/CacheMisses count straight-line segment lookups in the
 	// search's shared SegCache.
 	CacheHits   int
@@ -199,19 +204,23 @@ func Moves(p *source.Program, opt SearchOptions) []Move {
 // Predict evaluates the aggregated cost of a program at the nominal
 // assignment, sharing the given segment cache.
 func Predict(p *source.Program, opt SearchOptions, cache *aggregate.SegCache) (float64, error) {
-	return predictWith(p, opt, aggregate.Caches{Seg: cache}, nil)
+	c, _, err := predictWith(p, opt, aggregate.Caches{Seg: cache}, nil)
+	return c, err
 }
 
 // predictWith prices a program through the search's shared caches,
 // passing the advisory dirty-path hint to the incremental estimator.
-func predictWith(p *source.Program, opt SearchOptions, caches aggregate.Caches, dirty [][]int) (float64, error) {
+// It returns the total predicted cycles and the memory-hierarchy share
+// of that total (zero for machines without an active hierarchy), both
+// at the nominal assignment.
+func predictWith(p *source.Program, opt SearchOptions, caches aggregate.Caches, dirty [][]int) (cost, mem float64, err error) {
 	tbl, err := sem.Analyze(p)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	res, err := aggregate.PriceIncremental(p, dirty, caches, tbl, opt.Machine, opt.aggOptions())
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	assign := map[symexpr.Var]float64{}
 	for _, v := range res.Cost.Vars() {
@@ -221,13 +230,32 @@ func predictWith(p *source.Program, opt SearchOptions, caches aggregate.Caches, 
 			assign[v] = opt.defaultUnknown()
 		}
 	}
-	return res.Cost.Eval(assign)
+	for _, v := range res.Memory.Vars() {
+		if _, ok := assign[v]; ok {
+			continue
+		}
+		if val, ok := opt.Nominal[v]; ok {
+			assign[v] = val
+		} else {
+			assign[v] = opt.defaultUnknown()
+		}
+	}
+	cost, err = res.Cost.Eval(assign)
+	if err != nil {
+		return 0, 0, err
+	}
+	mem, err = res.Memory.Eval(assign)
+	if err != nil {
+		return 0, 0, err
+	}
+	return cost, mem, nil
 }
 
 // state is one search node.
 type state struct {
 	prog *source.Program
 	cost float64
+	mem  float64
 	seq  []Move
 }
 
@@ -237,6 +265,7 @@ type candidate struct {
 	prog *source.Program
 	fp   source.Fingerprint
 	cost float64
+	mem  float64
 	skip bool
 }
 
@@ -294,11 +323,11 @@ func SearchCtx(ctx context.Context, p *source.Program, opt SearchOptions) (Searc
 	hits0, misses0 := caches.Seg.Stats()
 	nestHits0, nestMisses0 := caches.Nest.Stats()
 	tetris0 := caches.Nest.TetrisCalls()
-	initCost, err := predictWith(p, opt, caches, nil)
+	initCost, initMem, err := predictWith(p, opt, caches, nil)
 	if err != nil {
 		return SearchResult{}, err
 	}
-	start := &state{prog: p, cost: initCost}
+	start := &state{prog: p, cost: initCost, mem: initMem}
 	best := start
 	visited := map[source.Fingerprint]bool{source.FingerprintProgram(p): true}
 	h := &stateHeap{start}
@@ -356,12 +385,13 @@ func SearchCtx(ctx context.Context, p *source.Program, opt SearchOptions) (Searc
 			// The move's path is the advisory dirty hint: only the
 			// transformed nest skips its cache probe; every untouched
 			// nest — including ones the move shifted — is looked up.
-			c, err := predictWith(cands[i].prog, opt, caches, [][]int{[]int(moves[i].Path)})
+			c, m, err := predictWith(cands[i].prog, opt, caches, [][]int{[]int(moves[i].Path)})
 			if err != nil {
 				cands[i].skip = true
 				return
 			}
 			cands[i].cost = c
+			cands[i].mem = m
 		})
 		if ctxErr != nil {
 			break
@@ -370,7 +400,7 @@ func SearchCtx(ctx context.Context, p *source.Program, opt SearchOptions) (Searc
 			if cands[i].skip {
 				continue
 			}
-			st := &state{prog: cands[i].prog, cost: cands[i].cost, seq: append(append([]Move{}, cur.seq...), moves[i])}
+			st := &state{prog: cands[i].prog, cost: cands[i].cost, mem: cands[i].mem, seq: append(append([]Move{}, cur.seq...), moves[i])}
 			if st.cost < best.cost {
 				best = st
 			}
@@ -380,15 +410,17 @@ func SearchCtx(ctx context.Context, p *source.Program, opt SearchOptions) (Searc
 	hits, misses := caches.Seg.Stats()
 	nestHits, nestMisses := caches.Nest.Stats()
 	return SearchResult{
-		Best:        best.prog,
-		BestCost:    best.cost,
-		InitialCost: initCost,
-		Sequence:    best.seq,
-		Explored:    explored,
-		CacheHits:   hits - hits0,
-		CacheMisses: misses - misses0,
-		NestHits:    nestHits - nestHits0,
-		NestMisses:  nestMisses - nestMisses0,
-		TetrisCalls: caches.Nest.TetrisCalls() - tetris0,
+		Best:          best.prog,
+		BestCost:      best.cost,
+		InitialCost:   initCost,
+		InitialMemory: initMem,
+		BestMemory:    best.mem,
+		Sequence:      best.seq,
+		Explored:      explored,
+		CacheHits:     hits - hits0,
+		CacheMisses:   misses - misses0,
+		NestHits:      nestHits - nestHits0,
+		NestMisses:    nestMisses - nestMisses0,
+		TetrisCalls:   caches.Nest.TetrisCalls() - tetris0,
 	}, ctxErr
 }

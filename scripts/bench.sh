@@ -55,12 +55,15 @@ to_json() {
 	' "$1"
 }
 
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
 go test -run '^$' -bench 'BenchmarkOptimize|BenchmarkPredictBatch' \
-	-benchtime "$benchtime" -benchmem . | tee BENCH_optimize.txt
-to_json BENCH_optimize.txt >BENCH_optimize.json
+	-benchtime "$benchtime" -benchmem . | tee "$tmp"
+to_json "$tmp" >BENCH_optimize.json
 echo "wrote BENCH_optimize.json"
 
 go test -run '^$' -bench 'BenchmarkTetris' -benchtime "$tetris_benchtime" \
-	-count "$tetris_count" -benchmem ./internal/tetris | tee BENCH_tetris.txt
-to_json BENCH_tetris.txt >BENCH_tetris.json
+	-count "$tetris_count" -benchmem ./internal/tetris | tee "$tmp"
+to_json "$tmp" >BENCH_tetris.json
 echo "wrote BENCH_tetris.json"

@@ -25,10 +25,48 @@ go build ./...
 echo "== machine specs"
 # Every embedded builtin spec plus every spec file shipped in the tree
 # must parse, validate, cover the lowering op set, and round-trip.
-go run ./cmd/speccheck examples/custom-machine/power2f.json
+go run ./cmd/speccheck examples/custom-machine/power2f.json examples/custom-machine/power1mem.json
 
 echo "== go test -race"
 go test -race ./...
+
+echo "== memory model smoke"
+# With the POWER1 hierarchy attached, a streaming (memory-bound)
+# kernel must report a memory cost component and a scalar
+# (compute-bound) kernel must not.
+memdir=$(mktemp -d)
+cat >"$memdir/stream.f" <<'EOF'
+program stream
+  integer i, n
+  parameter (n = 1024)
+  real a(1025), b(1025)
+  do i = 1, n
+    a(i) = b(i) + 1.0
+  end do
+end
+EOF
+cat >"$memdir/scalar.f" <<'EOF'
+program scalar
+  integer i, n
+  parameter (n = 1024)
+  real s
+  s = 1.0
+  do i = 1, n
+    s = s * 0.5 + 1.0
+  end do
+end
+EOF
+if ! go run ./cmd/predict -machine examples/custom-machine/power1mem.json "$memdir/stream.f" | grep -q "memory:"; then
+	echo "memory-bound kernel reported no memory term" >&2
+	rm -rf "$memdir"
+	exit 1
+fi
+if go run ./cmd/predict -machine examples/custom-machine/power1mem.json "$memdir/scalar.f" | grep -q "memory:"; then
+	echo "compute-bound kernel reported a memory term" >&2
+	rm -rf "$memdir"
+	exit 1
+fi
+rm -rf "$memdir"
 
 echo "== differential fuzz corpus"
 # Fixed-seed metamorphic/differential gating corpus: the estimators
