@@ -340,6 +340,12 @@ type OptimizeResult struct {
 	// re-pricing incremental.
 	SegCacheHits, SegCacheMisses int
 	NestCacheHits, NestsRepriced int
+	// Bottleneck names the first-saturating functional-unit kind of the
+	// chosen variant, with its utilization — the explain-mode diagnosis
+	// run once on the winner. Empty when the search was cancelled or the
+	// diagnosis could not run; the ranking never depends on it.
+	Bottleneck     string
+	BottleneckUtil float64
 }
 
 // Optimize searches transformation sequences (unroll, interchange,

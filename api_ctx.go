@@ -133,6 +133,8 @@ func OptimizeCtx(ctx context.Context, src string, target *Target, nominal map[st
 		SegCacheMisses:  res.CacheMisses,
 		NestCacheHits:   res.NestHits,
 		NestsRepriced:   res.NestMisses,
+		Bottleneck:      res.Bottleneck,
+		BottleneckUtil:  res.BottleneckUtil,
 	}
 	for _, mv := range res.Sequence {
 		out.Transformations = append(out.Transformations, mv.String())

@@ -1,0 +1,70 @@
+package perfpredict
+
+import (
+	"context"
+
+	"perfpredict/internal/aggregate"
+	"perfpredict/internal/explain"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+)
+
+// ExplainReport diagnoses where a program's predicted cycles go: the
+// per-nest critical paths, per-unit utilizations, the first-saturating
+// resource, the memory-bound label, and the one-more-pipe what-if.
+// Explanation is strictly read-only over the same placements Predict
+// prices — running it never changes any prediction.
+type ExplainReport = explain.Report
+
+// ExplainNest is one loop nest's diagnosis within an ExplainReport.
+type ExplainNest = explain.Nest
+
+// ExplainPathStep is one instruction on a nest's binding critical path.
+type ExplainPathStep = explain.PathStep
+
+// ExplainWhatIf is the one-more-pipe experiment of an ExplainReport.
+type ExplainWhatIf = explain.WhatIf
+
+// ExplainOptions tune ExplainCtx. The zero value reproduces Explain.
+type ExplainOptions struct {
+	// Aggregate overrides the aggregation options; nil uses the same
+	// defaults Predict uses, so the report's Cycles match Predict's
+	// EvalAt at the same point.
+	Aggregate *aggregate.Options
+	// Nominal assigns values to unknowns when apportioning cycles
+	// across nests and evaluating the what-if. Missing probabilities
+	// default to 0.5 (as in Prediction.EvalAt), other missing unknowns
+	// to 100 (as in Optimize's ranking).
+	Nominal map[string]float64
+	// SkipWhatIf suppresses the one-more-pipe experiment, saving one
+	// extra whole-program prediction.
+	SkipWhatIf bool
+}
+
+// Explain predicts a program and diagnoses the prediction: which unit
+// saturates first, which dependence/resource chain binds each kernel,
+// and what one more pipe of the bottleneck kind would buy.
+func Explain(src string, target *Target) (*ExplainReport, error) {
+	return ExplainCtx(context.Background(), src, target, ExplainOptions{})
+}
+
+// ExplainCtx is Explain under a context with options. ctx is checked
+// before the (uninterruptible, milliseconds-scale) pipeline runs.
+func ExplainCtx(ctx context.Context, src string, target *Target, opt ExplainOptions) (*ExplainReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	prog, err := source.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := sem.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	return explain.Program(prog, tbl, target, explain.Options{
+		Aggregate:  opt.Aggregate,
+		Nominal:    opt.Nominal,
+		SkipWhatIf: opt.SkipWhatIf,
+	})
+}

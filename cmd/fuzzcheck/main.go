@@ -16,10 +16,12 @@
 // counts, max approx/exact ratio, violation counts by invariant).
 // -emit-corpus regenerates testdata/corpus: F-lite programs and spec
 // files for the same seeds the harness uses, plus golden predictions
-// of every program on every builtin and corpus machine.
+// and golden explain digests (bottleneck, critical-path span, top
+// utilizations) of every program on every builtin and corpus machine.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -151,8 +153,10 @@ func emitCorpus(dir string) error {
 		targets = append(targets, targetEnt{fmt.Sprintf("spec%02d", i), m})
 	}
 
-	// golden[program][target] = symbolic cost expression.
+	// golden[program][target] = symbolic cost expression;
+	// goldenExplain[program][target] = explain summary digest.
 	golden := map[string]map[string]string{}
+	goldenExplain := map[string]map[string]string{}
 	for i := 1; i <= nPrograms; i++ {
 		src := progen.GenProgram(progen.NewRand(int64(i)),
 			progen.ProgramConfig{AllowIf: true, AllowSubroutine: true})
@@ -161,23 +165,36 @@ func emitCorpus(dir string) error {
 			return err
 		}
 		row := map[string]string{}
+		erow := map[string]string{}
 		for _, tgt := range targets {
 			p, err := perfpredict.Predict(src, tgt.t)
 			if err != nil {
 				return fmt.Errorf("%s on %s: %w", name, tgt.name, err)
 			}
 			row[tgt.name] = p.Cost.String()
+			rep, err := perfpredict.ExplainCtx(context.Background(), src, tgt.t,
+				perfpredict.ExplainOptions{SkipWhatIf: true})
+			if err != nil {
+				return fmt.Errorf("%s on %s: explain: %w", name, tgt.name, err)
+			}
+			erow[tgt.name] = rep.Summary()
 		}
 		golden[name] = row
+		goldenExplain[name] = erow
 	}
-	data, err := json.MarshalIndent(golden, "", "  ")
-	if err != nil {
-		return err
+	for file, table := range map[string]map[string]map[string]string{
+		"golden.json":         golden,
+		"golden_explain.json": goldenExplain,
+	} {
+		data, err := json.MarshalIndent(table, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, file), append(data, '\n'), 0o644); err != nil {
+			return err
+		}
 	}
-	if err := os.WriteFile(filepath.Join(dir, "golden.json"), append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("fuzzcheck: wrote %d programs, %d specs, and goldens for %d targets under %s\n",
+	fmt.Printf("fuzzcheck: wrote %d programs, %d specs, and prediction+explain goldens for %d targets under %s\n",
 		nPrograms, nSpecs, len(targets), dir)
 	return nil
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	predict [-machine NAME|spec.json] [-args n=1000,alpha=2]
-//	        [-simulate] [-block] [-optimize [-v]] file.f
+//	        [-simulate] [-block] [-optimize [-v]] [-explain] file.f
 //	predict [-machine M] [-args ...] [-parallel N] file1.f file2.f ...
 //	predict -list-machines
 //
@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,7 @@ func main() {
 	simulate := flag.Bool("simulate", false, "also run the reference pipeline simulation")
 	block := flag.Bool("block", false, "analyze the innermost basic block (Figure 7 style)")
 	optimize := flag.Bool("optimize", false, "search transformations for a faster variant")
+	explainFlag := flag.Bool("explain", false, "diagnose the prediction: bottleneck unit, critical path, one-more-pipe what-if")
 	verbose := flag.Bool("v", false, "with -optimize, also print search cache statistics")
 	parallel := flag.Int("parallel", 0, "batch worker pool size (0 = GOMAXPROCS); used with multiple files")
 	flag.Parse()
@@ -57,8 +59,8 @@ func main() {
 	args := parseArgs(*argList)
 
 	if *kernel == "" && len(flag.Args()) > 1 {
-		if *simulate || *block || *optimize {
-			fatalf("-simulate, -block and -optimize apply to a single input")
+		if *simulate || *block || *optimize || *explainFlag {
+			fatalf("-simulate, -block, -optimize and -explain apply to a single input")
 		}
 		runBatch(flag.Args(), target, args, *parallel)
 		return
@@ -123,6 +125,14 @@ func main() {
 		}
 		fmt.Printf("  mix:            %s\n", strings.Join(parts, " "))
 	}
+	if *explainFlag {
+		rep, err := perfpredict.ExplainCtx(context.Background(), src, target,
+			perfpredict.ExplainOptions{Nominal: args})
+		if err != nil {
+			fatalf("explain: %v", err)
+		}
+		printExplain(rep)
+	}
 	if *simulate {
 		cycles, err := perfpredict.Simulate(src, target, args)
 		if err != nil {
@@ -152,6 +162,55 @@ func main() {
 		} else {
 			fmt.Println("no improving transformation found")
 		}
+	}
+}
+
+// printExplain renders an ExplainReport as the -explain transcript:
+// the program-level verdict, then each nest's unit pressure and
+// binding critical path, then the one-more-pipe experiment.
+func printExplain(rep *perfpredict.ExplainReport) {
+	fmt.Println("explain:")
+	fmt.Printf("  bottleneck:   %s (%.0f%% utilized)\n", rep.Bottleneck, 100*rep.BottleneckUtil)
+	memShare := 0.0
+	if rep.Cycles > 0 {
+		memShare = 100 * rep.MemoryCycles / rep.Cycles
+	}
+	if rep.MemoryBound {
+		fmt.Printf("  memory-bound: yes (memory %.0f%% of cost)\n", memShare)
+	} else {
+		fmt.Printf("  memory-bound: no (memory %.0f%% of cost)\n", memShare)
+	}
+	for _, n := range rep.Nests {
+		fmt.Printf("  nest %s (weight %.0f%%, %d instrs, %d cycles/iter):\n",
+			n.Label, 100*n.Weight, n.Instructions, n.BlockCost)
+		var units []string
+		for _, k := range n.Kinds {
+			units = append(units, fmt.Sprintf("%s %.0f%%", k.Kind, 100*k.Utilization))
+		}
+		sat := "never saturated"
+		if n.SaturatedAt >= 0 {
+			sat = fmt.Sprintf("saturated from slot %d", n.SaturatedAt)
+		}
+		fmt.Printf("    bottleneck: %s (%.0f%% busy), %s\n", n.Bottleneck, 100*n.BottleneckUtil, sat)
+		fmt.Printf("    units:      %s\n", strings.Join(units, "  "))
+		fmt.Printf("    critical path (%d of %d cycles, dep height %d):\n",
+			n.PathCycles, n.BlockCost, n.DepHeight)
+		for _, s := range n.Path {
+			via := ""
+			switch s.Edge {
+			case "resource":
+				via = "  waits on " + s.Unit
+			case "dep":
+				via = "  after dep"
+			case "dispatch":
+				via = "  after dispatch"
+			}
+			fmt.Printf("      #%-3d %-8s @%d..%d%s\n", s.Instr, s.Op, s.Start, s.Finish, via)
+		}
+	}
+	if w := rep.WhatIf; w != nil {
+		fmt.Printf("  one more %s pipe (%d total): %.0f cycles, %.2fx speedup\n",
+			w.Unit, w.Pipes, w.Cycles, w.Speedup)
 	}
 }
 

@@ -1,6 +1,7 @@
 package perfpredict
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -67,6 +68,71 @@ func TestCorpusGoldenPredictions(t *testing.T) {
 			}
 			if got := p.Cost.String(); got != golden[prog][name] {
 				t.Errorf("%s on %s: cost %q, golden %q", prog, name, got, golden[prog][name])
+			}
+		}
+	}
+}
+
+// TestCorpusGoldenExplain pins the explain digest — bottleneck unit,
+// dominant-nest critical-path span, top-3 utilizations — of every
+// corpus program on every target. A mismatch means the diagnosis
+// changed: if intentional, regenerate with
+//
+//	go run ./cmd/fuzzcheck -emit-corpus testdata/corpus
+func TestCorpusGoldenExplain(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "corpus", "golden_explain.json"))
+	if err != nil {
+		t.Fatalf("reading explain goldens (regenerate with fuzzcheck -emit-corpus): %v", err)
+	}
+	var golden map[string]map[string]string
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+	if len(golden) == 0 {
+		t.Fatal("empty explain golden table")
+	}
+
+	targets := map[string]*Target{}
+	target := func(name string) *Target {
+		if m, ok := targets[name]; ok {
+			return m
+		}
+		ref := name
+		if _, err := os.Stat(filepath.Join("testdata", "corpus", "specs", name+".json")); err == nil {
+			ref = filepath.Join("testdata", "corpus", "specs", name+".json")
+		}
+		m, err := LoadTarget(ref)
+		if err != nil {
+			t.Fatalf("target %s: %v", name, err)
+		}
+		targets[name] = m
+		return m
+	}
+
+	progs := make([]string, 0, len(golden))
+	for p := range golden {
+		progs = append(progs, p)
+	}
+	sort.Strings(progs)
+	for _, prog := range progs {
+		src, err := os.ReadFile(filepath.Join("testdata", "corpus", "programs", prog))
+		if err != nil {
+			t.Fatalf("corpus program %s missing: %v", prog, err)
+		}
+		names := make([]string, 0, len(golden[prog]))
+		for n := range golden[prog] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rep, err := ExplainCtx(context.Background(), string(src), target(name),
+				ExplainOptions{SkipWhatIf: true})
+			if err != nil {
+				t.Errorf("%s on %s: %v", prog, name, err)
+				continue
+			}
+			if got := rep.Summary(); got != golden[prog][name] {
+				t.Errorf("%s on %s: digest %q, golden %q", prog, name, got, golden[prog][name])
 			}
 		}
 	}

@@ -1,0 +1,189 @@
+package explain
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"perfpredict/internal/machine"
+	"perfpredict/internal/sem"
+	"perfpredict/internal/source"
+)
+
+func report(t *testing.T, src string, m *machine.Machine, opt Options) *Report {
+	t.Helper()
+	prog, err := source.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Program(prog, tbl, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+const matmulSrc = `
+subroutine mm(n)
+  integer i, j, k, n
+  real a(100,100), b(100,100), c(100,100)
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        c(i,j) = c(i,j) + a(i,k) * b(k,j)
+      end do
+    end do
+  end do
+end
+`
+
+// A matmul has one innermost nest; its diagnosis must name the whole
+// loop chain, carry all the weight, stay within utilization bounds,
+// and present a nonempty, chronologically ordered critical path.
+func TestProgramMatmul(t *testing.T) {
+	rep := report(t, matmulSrc, machine.NewPOWER1(), Options{})
+	if len(rep.Nests) != 1 {
+		t.Fatalf("got %d nests, want 1: %+v", len(rep.Nests), rep.Nests)
+	}
+	n := rep.Nests[0]
+	if n.Label != "do i/do j/do k" {
+		t.Errorf("label = %q, want do i/do j/do k", n.Label)
+	}
+	if math.Abs(n.Weight-1) > 1e-9 {
+		t.Errorf("single nest weight = %v, want 1", n.Weight)
+	}
+	if n.Bottleneck == "" || rep.Bottleneck != n.Bottleneck {
+		t.Errorf("bottleneck %q / program %q, want identical and nonempty", n.Bottleneck, rep.Bottleneck)
+	}
+	if n.BottleneckUtil <= 0 || n.BottleneckUtil > 1 {
+		t.Errorf("bottleneck utilization %v outside (0,1]", n.BottleneckUtil)
+	}
+	if len(n.Path) == 0 {
+		t.Fatal("empty critical path")
+	}
+	for i, s := range n.Path {
+		if s.Op == "" {
+			t.Errorf("path step %d has no op name", i)
+		}
+		if i > 0 && s.Start < n.Path[i-1].Start {
+			t.Errorf("path not chronological at step %d: %+v", i, n.Path)
+		}
+	}
+	if n.PathCycles > n.BlockCost {
+		t.Errorf("PathCycles %d exceeds block cost %d", n.PathCycles, n.BlockCost)
+	}
+	if rep.Cycles <= 0 {
+		t.Errorf("Cycles = %v, want > 0", rep.Cycles)
+	}
+	if rep.MemoryCycles < 0 || rep.MemoryCycles > rep.Cycles {
+		t.Errorf("MemoryCycles %v outside [0, %v]", rep.MemoryCycles, rep.Cycles)
+	}
+}
+
+// Two sequential nests with very different trip counts: both must be
+// diagnosed, weights must sum to one, and the heavier (cubic) nest must
+// dominate the lighter (linear) one.
+func TestProgramNestWeights(t *testing.T) {
+	src := `
+subroutine two(n)
+  integer i, j, k, n
+  real a(100,100), b(100,100), c(100,100), x(100), y(100)
+  do i = 1, n
+    y(i) = y(i) + 2.0 * x(i)
+  end do
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        c(i,j) = c(i,j) + a(i,k) * b(k,j)
+      end do
+    end do
+  end do
+end
+`
+	rep := report(t, src, machine.NewPOWER1(), Options{SkipWhatIf: true})
+	if len(rep.Nests) != 2 {
+		t.Fatalf("got %d nests, want 2", len(rep.Nests))
+	}
+	sum := 0.0
+	for _, n := range rep.Nests {
+		if n.Weight < 0 || n.Weight > 1 {
+			t.Errorf("nest %s weight %v outside [0,1]", n.Label, n.Weight)
+		}
+		sum += n.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v, want 1", sum)
+	}
+	daxpy, mm := rep.Nests[0], rep.Nests[1]
+	if !strings.HasPrefix(mm.Label, "do i/do j") {
+		t.Fatalf("nest order: %q then %q", daxpy.Label, mm.Label)
+	}
+	if mm.Weight <= daxpy.Weight {
+		t.Errorf("cubic nest weight %v not above linear nest %v", mm.Weight, daxpy.Weight)
+	}
+}
+
+// The one-more-pipe experiment must name the bottleneck kind, report
+// one more pipe than the base machine, and never predict a slowdown.
+func TestProgramWhatIf(t *testing.T) {
+	m := machine.NewPOWER1()
+	rep := report(t, matmulSrc, m, Options{})
+	if rep.WhatIf == nil {
+		t.Fatal("no what-if on a nonempty report")
+	}
+	w := rep.WhatIf
+	if w.Unit != rep.Bottleneck {
+		t.Errorf("what-if unit %q, want bottleneck %q", w.Unit, rep.Bottleneck)
+	}
+	if w.Pipes != m.UnitCounts[machine.UnitKind(rep.Bottleneck)]+1 {
+		t.Errorf("what-if pipes = %d, want one more than base", w.Pipes)
+	}
+	if w.Speedup < 1 {
+		t.Errorf("speedup %v < 1: one more pipe predicted a slowdown", w.Speedup)
+	}
+	if w.Cycles > rep.Cycles {
+		t.Errorf("what-if cycles %v above baseline %v", w.Cycles, rep.Cycles)
+	}
+
+	skip := report(t, matmulSrc, m, Options{SkipWhatIf: true})
+	if skip.WhatIf != nil {
+		t.Error("SkipWhatIf still ran the experiment")
+	}
+}
+
+// A loopless subroutine falls back to a single "body" nest.
+func TestProgramStraightBody(t *testing.T) {
+	src := `
+subroutine straight()
+  real a(10), b(10)
+  a(1) = b(1) + 2.0
+  a(2) = b(2) * 3.0
+end
+`
+	rep := report(t, src, machine.NewPOWER1(), Options{SkipWhatIf: true})
+	if len(rep.Nests) != 1 || rep.Nests[0].Label != "body" {
+		t.Fatalf("nests = %+v, want one loopless body nest", rep.Nests)
+	}
+	if rep.Nests[0].Weight != 1 {
+		t.Errorf("weight = %v, want 1", rep.Nests[0].Weight)
+	}
+}
+
+// Nominal values must steer nest weights: making the outer trip count
+// symbolic and assigning it a small value must not break normalization.
+func TestProgramNominalTrips(t *testing.T) {
+	rep := report(t, matmulSrc, machine.NewPOWER1(), Options{
+		SkipWhatIf: true,
+		Nominal:    map[string]float64{"n": 8},
+	})
+	if len(rep.Nests) != 1 {
+		t.Fatalf("got %d nests, want 1", len(rep.Nests))
+	}
+	if rep.Cycles <= 0 {
+		t.Errorf("Cycles = %v at n=8, want > 0", rep.Cycles)
+	}
+}

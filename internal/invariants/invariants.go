@@ -27,6 +27,11 @@
 //   - topo-perm: the exact optimum is invariant under any
 //     dependence-respecting reordering of the block (only asserted
 //     when both searches complete within budget).
+//   - explain-inert / explain-utilization / explain-path /
+//     explain-dep-height / explain-what-if: EstimateExplained's
+//     diagnosis is inert and self-consistent (see explain.go for the
+//     full list; one-more-pipe monotonicity is deliberately NOT
+//     asserted — Graham's anomaly).
 //
 // Specs (CheckSpec):
 //
@@ -46,6 +51,11 @@
 //   - result-cache-identical (CheckResultCache): the serving stack's
 //     response bytes with the result cache disabled, cold, and warm
 //     are identical on generated programs × generated inline specs.
+//   - explain-inert-program / explain-cycles-consistent /
+//     explain-report-sane (CheckExplain): program-level Explain
+//     succeeds wherever Predict does, leaves Predict byte-identical,
+//     and reports cycles that are Predict's own expressions evaluated
+//     at explain's default point.
 //
 // Memory hierarchies (CheckMemory):
 //
@@ -178,6 +188,7 @@ func CheckBlock(seed int64, cfg Config) ([]Violation, BlockStats) {
 
 		// oracle-bound (+ ratio bookkeeping).
 		exact, err := oracle.Pack(m, b, oopt)
+		exactOK := err == nil
 		if err == nil {
 			if exact.Proven {
 				stats.Proven++
@@ -232,6 +243,10 @@ func CheckBlock(seed int64, cfg Config) ([]Violation, BlockStats) {
 					mayAlias, approx.Cost, ss.Cost)
 			}
 		}
+
+		// explain suite: diagnosis must be inert and self-consistent
+		// (see explain.go for the invariant list).
+		checkExplainBlock(m, b, topt, approx, exact, exactOK, fail)
 	}
 	return vs, stats
 }
@@ -443,6 +458,7 @@ func Run(n int, baseSeed int64, cfg Config) Summary {
 			s.Violations = append(s.Violations, CheckProgram(seed)...)
 			s.Violations = append(s.Violations, CheckResultCache(seed)...)
 			s.Violations = append(s.Violations, CheckMemory(seed)...)
+			s.Violations = append(s.Violations, CheckExplain(seed)...)
 		}
 		s.Samples++
 	}

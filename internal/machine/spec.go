@@ -215,6 +215,21 @@ func (s *Spec) Machine() (*Machine, error) {
 	return m, nil
 }
 
+// WithExtraPipe builds a machine identical to m except for one more
+// pipe of kind k — the "one-more-pipe" what-if of the explain
+// subsystem. The round-trip goes through the spec form, so the result
+// is validated and carries a fresh content fingerprint (every cache
+// keyed on content stays sound). Adding a pipe can never invalidate a
+// spec: the per-kind segment rule only bounds counts from below.
+func WithExtraPipe(m *Machine, k UnitKind) (*Machine, error) {
+	s := SpecOf(m)
+	if s.Units[string(k)] == 0 {
+		return nil, fmt.Errorf("machine %s: no unit kind %s to extend", m.Name, k)
+	}
+	s.Units[string(k)]++
+	return s.Machine()
+}
+
 // SpecOf is the inverse of Spec.Machine: the serializable description
 // of an existing Machine. SpecOf(m).Machine() reproduces m exactly
 // (up to map iteration order, which neither fingerprints nor the

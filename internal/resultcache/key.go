@@ -93,6 +93,23 @@ func OptimizeKey(prog, mach source.Fingerprint, nominal map[string]float64, maxN
 	return keyOf(fp)
 }
 
+// ExplainKey is the identity of an explain diagnosis: program ×
+// machine × the nominal point × whether the one-more-pipe what-if is
+// included. Like OptimizeKey, nothing else can change response bytes —
+// the diagnosis reads finished placements and never depends on cache
+// state or concurrency.
+func ExplainKey(prog, mach source.Fingerprint, nominal map[string]float64, skipWhatIf bool) Key {
+	fp := source.Fingerprint{}.MixString("resultcache/explain/v1")
+	fp = fp.Mix(prog).Mix(mach)
+	fp = mixFloatMap(fp, nominal, nominal != nil)
+	var skip uint64
+	if skipWhatIf {
+		skip = 1
+	}
+	fp = fp.MixUint64(skip)
+	return keyOf(fp)
+}
+
 // SourceKey fingerprints raw program text that failed to parse, so
 // even per-slot error responses stay content-addressed (two batches
 // containing the same broken source share the same key).

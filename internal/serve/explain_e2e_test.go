@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"perfpredict"
+)
+
+// TestE2EExplainEqualsLibrary proves the server ≡ library contract for
+// the explain endpoint: for every corpus program, the /v1/explain
+// response bytes equal the library's ExplainReport passed through the
+// server's own encoder.
+func TestE2EExplainEqualsLibrary(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	names, srcs := corpusSources(t)
+	nominal := map[string]float64{"n": 64, "m": 9}
+	target, err := perfpredict.LoadTarget("POWER1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, src := range srcs {
+		status, got := postJSON(t, ts, "/v1/explain", ExplainRequest{
+			Source: src, Machine: "POWER1", Nominal: nominal,
+		})
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", names[i], status, got)
+		}
+		rep, err := perfpredict.ExplainCtx(context.Background(), src, target,
+			perfpredict.ExplainOptions{Nominal: nominal})
+		if err != nil {
+			t.Fatalf("%s: library: %v", names[i], err)
+		}
+		if want := marshalBody(rep); !bytes.Equal(got, want) {
+			t.Errorf("%s:\nserver  %s\nlibrary %s", names[i], got, want)
+		}
+	}
+}
+
+// TestE2EExplainReportsDiagnosis pins the acceptance contract on the
+// kernel corpus: every diagnosis names a bottleneck with a utilization
+// in (0,1], carries at least one nest with a nonempty critical path,
+// and includes the one-more-pipe speedup.
+func TestE2EExplainReportsDiagnosis(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	names, srcs := corpusSources(t)
+	for i, src := range srcs {
+		if !strings.Contains(src, "do ") {
+			continue
+		}
+		status, got := postJSON(t, ts, "/v1/explain", ExplainRequest{Source: src})
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", names[i], status, got)
+		}
+		var rep perfpredict.ExplainReport
+		if err := json.Unmarshal(got, &rep); err != nil {
+			t.Fatalf("%s: %v\n%s", names[i], err, got)
+		}
+		if len(rep.Nests) == 0 {
+			t.Errorf("%s: no nests diagnosed", names[i])
+			continue
+		}
+		if rep.Bottleneck == "" || rep.BottleneckUtil <= 0 || rep.BottleneckUtil > 1 {
+			t.Errorf("%s: bottleneck %q at %v", names[i], rep.Bottleneck, rep.BottleneckUtil)
+		}
+		// Speedup below 1 is a legal (anomalous but faithful) model
+		// outcome: scheduling is not monotone in resources. Only the
+		// experiment's presence and well-formedness are pinned.
+		if rep.WhatIf == nil {
+			t.Errorf("%s: no one-more-pipe experiment", names[i])
+		} else if rep.WhatIf.Speedup <= 0 || rep.WhatIf.Cycles <= 0 {
+			t.Errorf("%s: degenerate what-if %+v", names[i], rep.WhatIf)
+		}
+		for _, n := range rep.Nests {
+			if len(n.Path) == 0 {
+				t.Errorf("%s: nest %s has no critical path", names[i], n.Label)
+			}
+			if n.PathCycles > n.BlockCost {
+				t.Errorf("%s: nest %s path %d exceeds block cost %d",
+					names[i], n.Label, n.PathCycles, n.BlockCost)
+			}
+			for _, k := range n.Kinds {
+				if k.Utilization < 0 || k.Utilization > 1 {
+					t.Errorf("%s: nest %s kind %s utilization %v",
+						names[i], n.Label, k.Kind, k.Utilization)
+				}
+			}
+		}
+	}
+}
+
+// TestE2EExplainErrorPaths pins the explain endpoint's structured
+// errors: unknown machine 404, oversized body 413, deadline 504, bad
+// JSON 400, and a bad program 422.
+func TestE2EExplainErrorPaths(t *testing.T) {
+	ts := httptest.NewServer(New(Config{MaxBodyBytes: 512}).Handler())
+	defer ts.Close()
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"bad json", `{"source": `, http.StatusBadRequest, CodeBadJSON},
+		{"unknown field", `{"sauce":"x"}`, http.StatusBadRequest, CodeBadJSON},
+		{"unknown machine", `{"source":"end","machine":"PDP11"}`, http.StatusNotFound, CodeUnknownMachine},
+		{"bad program", `{"source":"do do do"}`, http.StatusUnprocessableEntity, CodeBadProgram},
+		{"oversized body", `{"source":"` + strings.Repeat("x", 600) + `"}`, http.StatusRequestEntityTooLarge, CodeBodyTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := ts.Client().Post(ts.URL+"/v1/explain", "application/json",
+				strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, body)
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatalf("not a structured error: %v (%s)", err, body)
+			}
+			if er.Error.Code != tc.wantCode {
+				t.Errorf("code %q, want %q (%q)", er.Error.Code, tc.wantCode, er.Error.Message)
+			}
+		})
+	}
+}
+
+// TestE2EExplainDeadlineReturns504: an explain under an already-spent
+// server deadline comes back as a structured 504 without computing.
+func TestE2EExplainDeadlineReturns504(t *testing.T) {
+	s := New(Config{Timeout: time.Nanosecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	_, srcs := corpusSources(t)
+	status, body := postJSON(t, ts, "/v1/explain", ExplainRequest{Source: srcs[0]})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", status, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Code != CodeDeadlineExceeded {
+		t.Errorf("code %q, want %q", er.Error.Code, CodeDeadlineExceeded)
+	}
+}
+
+// TestE2EExplainCacheByteIdentity extends the off/cold/warm identity
+// gate to the explain endpoint, including the skip_what_if and nominal
+// key dimensions.
+func TestE2EExplainCacheByteIdentity(t *testing.T) {
+	off := httptest.NewServer(New(Config{DisableResultCache: true}).Handler())
+	defer off.Close()
+	s := New(Config{})
+	cached := httptest.NewServer(s.Handler())
+	defer cached.Close()
+	names, srcs := corpusSources(t)
+	check := func(name string, req ExplainRequest) {
+		t.Helper()
+		stOff, bodyOff := postJSON(t, off, "/v1/explain", req)
+		stCold, bodyCold := postJSON(t, cached, "/v1/explain", req)
+		stWarm, bodyWarm := postJSON(t, cached, "/v1/explain", req)
+		if stOff != stCold || stOff != stWarm {
+			t.Errorf("%s: status off=%d cold=%d warm=%d", name, stOff, stCold, stWarm)
+			return
+		}
+		if !bytes.Equal(bodyOff, bodyCold) {
+			t.Errorf("%s: cold cached body differs from cache-off body\noff:  %s\ncold: %s",
+				name, bodyOff, bodyCold)
+		}
+		if !bytes.Equal(bodyCold, bodyWarm) {
+			t.Errorf("%s: warm hit differs from its own cold compute\ncold: %s\nwarm: %s",
+				name, bodyCold, bodyWarm)
+		}
+	}
+	reqs := 0
+	for i, src := range srcs {
+		if i >= 5 {
+			break
+		}
+		check(names[i], ExplainRequest{Source: src})
+		check(names[i]+"/nominal", ExplainRequest{Source: src,
+			Nominal: map[string]float64{"n": 32, "m": 4}})
+		check(names[i]+"/skip", ExplainRequest{Source: src, SkipWhatIf: true})
+		reqs += 3
+	}
+	// Every warm repeat must have been served from the cache, and the
+	// three request shapes must not alias each other's keys.
+	hits := scrapeInt(t, cached, "predictd_result_cache_hits")
+	if hits != int64(reqs) {
+		t.Errorf("result cache hits = %d, want %d (one per warm repeat)", hits, reqs)
+	}
+	if st := s.Results().Stats(); st.Entries != int64(reqs) {
+		t.Errorf("result cache entries = %d, want %d distinct keys", st.Entries, reqs)
+	}
+}
+
+// TestMetricsExplainExactCounts drives a scripted sequence against the
+// explain endpoint and pins its per-endpoint counters: 2 × 200 (one
+// computed, one cache hit), 1 × 404, 1 × 405, each observed exactly
+// once by the latency histogram.
+func TestMetricsExplainExactCounts(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	valid := "program p\ninteger i\nreal a(64)\ndo i = 1, 64\na(i) = a(i) + 1.0\nenddo\nend\n"
+	post := func(body string, wantStatus int) {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+"/v1/explain", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("status %d, want %d", resp.StatusCode, wantStatus)
+		}
+	}
+	req := `{"source":` + quote(valid) + `}`
+	post(req, http.StatusOK)
+	post(req, http.StatusOK)
+	post(`{"source":"end","machine":"PDP11"}`, http.StatusNotFound)
+	resp, err := ts.Client().Get(ts.URL + "/v1/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET explain: %d", resp.StatusCode)
+	}
+
+	got := scrape(t, ts)
+	expectSample(t, got, `predictd_requests_total{endpoint="explain",code="200"}`, "2")
+	expectSample(t, got, `predictd_requests_total{endpoint="explain",code="404"}`, "1")
+	expectSample(t, got, `predictd_requests_total{endpoint="explain",code="405"}`, "1")
+	expectSample(t, got, `predictd_request_seconds_count{endpoint="explain"}`, "4")
+	expectSample(t, got, "predictd_result_cache_hits", "1")
+	expectSample(t, got, "predictd_result_cache_misses", "1")
+	expectSample(t, got, "predictd_result_cache_entries", "1")
+	expectSample(t, got, "predictd_panics_total", "0")
+}

@@ -112,6 +112,52 @@ type OptimizeResponse struct {
 	Explored     int     `json:"explored"`
 }
 
+// ExplainRequest is the body of POST /v1/explain.
+type ExplainRequest struct {
+	Source  string          `json:"source"`
+	Machine string          `json:"machine,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	// Nominal assigns values to unknowns when apportioning cycles
+	// across nests and evaluating the what-if (probabilities default
+	// to 0.5, other missing unknowns to 100).
+	Nominal map[string]float64 `json:"nominal,omitempty"`
+	// SkipWhatIf suppresses the one-more-pipe experiment.
+	SkipWhatIf bool `json:"skip_what_if,omitempty"`
+}
+
+// The response of a successful /v1/explain is a
+// perfpredict.ExplainReport encoded as-is: the report types carry
+// their own JSON shape, so the server body is by construction the
+// library's diagnosis and nothing else.
+
+func (s *Server) handleExplain(r *http.Request) (any, *apiError) {
+	var req ExplainRequest
+	if aerr := decodeBody(r, &req); aerr != nil {
+		return nil, aerr
+	}
+	target, aerr := resolveMachine(req.Machine, req.Spec)
+	if aerr != nil {
+		return nil, aerr
+	}
+	key := resultcache.ExplainKey(programFP(req.Source), target.Fingerprint(), req.Nominal, req.SkipWhatIf)
+	return s.withResultCache(r, key, func() (any, *apiError) {
+		rep, err := perfpredict.ExplainCtx(r.Context(), req.Source, target, perfpredict.ExplainOptions{
+			Nominal:    req.Nominal,
+			SkipWhatIf: req.SkipWhatIf,
+		})
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return nil, ctxError(err)
+			}
+			return nil, errBadProgram(err.Error())
+		}
+		if err := r.Context().Err(); err != nil {
+			return nil, ctxError(err)
+		}
+		return rep, nil
+	})
+}
+
 func (s *Server) handlePredict(r *http.Request) (any, *apiError) {
 	var req PredictRequest
 	if aerr := decodeBody(r, &req); aerr != nil {

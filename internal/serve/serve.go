@@ -1,7 +1,7 @@
 // Package serve is the predictd HTTP service: the perfpredict
-// library behind three POST endpoints (/v1/predict, /v1/batch,
-// /v1/optimize) with the production plumbing a long-running analysis
-// service needs — bounded admission with load shedding, per-request
+// library behind four POST endpoints (/v1/predict, /v1/batch,
+// /v1/optimize, /v1/explain) with the production plumbing a
+// long-running analysis service needs — bounded admission with load shedding, per-request
 // deadlines threaded as context cancellation into the batch workers
 // and the transformation search, panic-isolating middleware, warm
 // shared segment/nest cost caches, and Prometheus-text observability
@@ -135,6 +135,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("/v1/predict", s.endpoint("predict", s.handlePredict))
 	s.mux.Handle("/v1/batch", s.endpoint("batch", s.handleBatch))
 	s.mux.Handle("/v1/optimize", s.endpoint("optimize", s.handleOptimize))
+	s.mux.Handle("/v1/explain", s.endpoint("explain", s.handleExplain))
 	s.mux.Handle("GET /v1/jobs/{id}", s.getEndpoint("jobs", s.handleJobGet))
 	s.mux.Handle("/metrics", s.metrics.Handler())
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {

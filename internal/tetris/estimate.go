@@ -79,10 +79,27 @@ var estPool = sync.Pool{New: func() any { return new(estScratch) }}
 // Estimate is safe to call concurrently (per-call scratch state comes
 // from a pool; m is only read).
 func Estimate(m *machine.Machine, b *ir.Block, opt Options) (Result, error) {
+	return estimate(m, b, opt, nil)
+}
+
+// estimate is the shared placement core. A non-nil rec makes it
+// record placement decisions for EstimateExplained; recording happens
+// only at commit time (never inside the fit probes) and never alters a
+// placement, so the rec == nil path is the plain Estimate byte for
+// byte.
+func estimate(m *machine.Machine, b *ir.Block, opt Options, rec *placeRecorder) (Result, error) {
 	sc := estPool.Get().(*estScratch)
 	defer estPool.Put(sc)
 	bins := sc.prepare(m, opt)
-	deps := b.DepsInto(opt.MayAlias, &sc.depsBuf)
+	bins.rec = rec
+	depsBuf := &sc.depsBuf
+	if rec != nil {
+		// The recorder's builders walk the dependence rows after this
+		// scratch is back in the pool, so compute them into the
+		// recorder's own buffer instead of copying at capture time.
+		depsBuf = &rec.depsBuf
+	}
+	deps := b.DepsInto(opt.MayAlias, depsBuf)
 	sc.place = resetInts(sc.place, len(b.Instrs))
 	sc.finish = resetInts(sc.finish, len(b.Instrs))
 	if cap(sc.isMem) < len(b.Instrs) {
@@ -98,6 +115,9 @@ func Estimate(m *machine.Machine, b *ir.Block, opt Options) (Result, error) {
 			return Result{}, err
 		}
 		isMem[i] = in.Op.IsMem()
+		if rec != nil {
+			rec.curInstr = i
+		}
 		ready, dataReady := 0, 0
 		if !opt.IgnoreDeps {
 			for _, j := range deps[i] {
@@ -139,6 +159,9 @@ func Estimate(m *machine.Machine, b *ir.Block, opt Options) (Result, error) {
 		res.Cost = res.End - res.Start
 	}
 	res.Shape = bins.costBlock(res.Start, res.End)
+	if rec != nil {
+		rec.capture(sc, bins, finish, res.End, deps)
+	}
 	return res, nil
 }
 
@@ -241,6 +264,11 @@ type bins struct {
 	// kFirst/kLast/kBusy are costBlock scratch, indexed by kind; kFirst
 	// is -1 for a kind with no occupied pipe.
 	kFirst, kLast, kBusy []int
+	// rec, when non-nil, receives every committed segment placement
+	// (EstimateExplained); the plain Estimate path always leaves it
+	// nil. Set per call in estimate, never by prepare, so pooled
+	// scratch cannot leak a recorder across calls.
+	rec *placeRecorder
 }
 
 // dispatchAt returns the number of ops begun in cycle t.
@@ -333,6 +361,15 @@ func (b *bins) placeOne(oc *opCosts, a int, ready int) (int, error) {
 			st, nc := int(oc.segStart[s]), int(oc.segNoncov[s])
 			if nc > 0 {
 				b.slots[pipe].occupyFit(t+st, nc)
+			}
+			if b.rec != nil {
+				b.rec.segs = append(b.rec.segs, segPlace{
+					instr:  int32(b.rec.curInstr),
+					pipe:   pipe,
+					kind:   b.pipeKind[pipe],
+					start:  int32(t + st),
+					noncov: int32(nc),
+				})
 			}
 			if e := t + int(oc.segEnd[s]); e > b.latEnd[pipe] {
 				b.latEnd[pipe] = e

@@ -3,6 +3,7 @@ package xform
 import (
 	"context"
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 
@@ -29,16 +30,42 @@ func matmulProg(t *testing.T) *source.Program {
 	return prog
 }
 
+// calibrateNodeCost times a small bounded search and returns the mean
+// wall-clock cost of one node expansion on this machine, floored at
+// 1ms. The cancellation tests size their deadlines and tolerances
+// from this measurement instead of hard-coded constants that go stale
+// (or flaky) as hardware and the expansion cost drift.
+func calibrateNodeCost(t *testing.T, prog *source.Program) time.Duration {
+	t.Helper()
+	start := time.Now()
+	res, err := Search(prog, SearchOptions{Machine: machine.NewPOWER1(), MaxNodes: 4, MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explored <= 0 {
+		t.Fatalf("calibration search explored %d nodes", res.Explored)
+	}
+	per := time.Since(start) / time.Duration(res.Explored)
+	if per < time.Millisecond {
+		per = time.Millisecond
+	}
+	return per
+}
+
 // TestSearchCtxReturnsPromptlyOnDeadline pins the cancellation
 // contract on the matmul kernel: a search sized to run for a long
-// time must return within about one node-expansion of its context
+// time must return within a few node-expansions of its context
 // expiring, with the best-so-far as a valid partial result.
 func TestSearchCtxReturnsPromptlyOnDeadline(t *testing.T) {
 	prog := matmulProg(t)
-	const deadline = 150 * time.Millisecond
-	// Far more nodes than fit in the deadline: full completion takes
-	// tens of seconds (calibrated ~5-10ms per expansion), so a prompt
-	// return can only come from the cancellation path.
+	per := calibrateNodeCost(t, prog)
+	// The deadline buys roughly ten expansions — enough to get the
+	// search going, orders of magnitude short of MaxNodes — so a
+	// prompt return can only come from the cancellation path.
+	deadline := 10 * per
+	if deadline > 2*time.Second {
+		deadline = 2 * time.Second
+	}
 	opt := SearchOptions{Machine: machine.NewPOWER1(), MaxNodes: 1 << 20, MaxDepth: 6}
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
@@ -48,11 +75,14 @@ func TestSearchCtxReturnsPromptlyOnDeadline(t *testing.T) {
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v (explored %d), want context.DeadlineExceeded", err, res.Explored)
 	}
-	// ε covers one node expansion plus heavy CI/-race slowdown; the
-	// point is seconds-not-minutes, measured from ctx expiry.
-	const epsilon = 5 * time.Second
+	// ε is many measured expansions (the search observes cancellation
+	// at node boundaries) plus slack for loaded CI under -race.
+	epsilon := 100 * per
+	if epsilon < 2*time.Second {
+		epsilon = 2 * time.Second
+	}
 	if elapsed > deadline+epsilon {
-		t.Fatalf("search returned %v after a %v deadline", elapsed, deadline)
+		t.Fatalf("search returned %v after a %v deadline (measured %v/node)", elapsed, deadline, per)
 	}
 	// The partial result is a usable best-so-far.
 	if res.Best == nil {
@@ -63,6 +93,46 @@ func TestSearchCtxReturnsPromptlyOnDeadline(t *testing.T) {
 	}
 	if res.Explored <= 0 || res.Explored >= opt.MaxNodes {
 		t.Errorf("explored %d nodes under a %v deadline", res.Explored, deadline)
+	}
+}
+
+// TestSearchCtxNoGoroutineLeakWithExplain: cancelled searches and a
+// completed one — the latter running the post-search explain
+// diagnosis on its winner — leave the goroutine count at its
+// pre-search baseline.
+func TestSearchCtxNoGoroutineLeakWithExplain(t *testing.T) {
+	prog := matmulProg(t)
+	per := calibrateNodeCost(t, prog)
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 4; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*per)
+		_, err := SearchCtx(ctx, prog, SearchOptions{Machine: machine.NewPOWER1(), MaxNodes: 1 << 20, MaxDepth: 6})
+		cancel()
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatal(err)
+		}
+	}
+	res, err := SearchCtx(context.Background(), prog,
+		SearchOptions{Machine: machine.NewPOWER1(), MaxNodes: 6, MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bottleneck == "" {
+		t.Error("completed search reported no bottleneck for its winner")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines: baseline %d, now %d after searches\n%s",
+				baseline, now, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

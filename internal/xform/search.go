@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"perfpredict/internal/aggregate"
+	"perfpredict/internal/explain"
 	"perfpredict/internal/machine"
 	"perfpredict/internal/sem"
 	"perfpredict/internal/source"
@@ -160,6 +161,12 @@ type SearchResult struct {
 	NestHits    int
 	NestMisses  int
 	TetrisCalls int
+	// Bottleneck names the first-saturating unit kind of the winning
+	// variant (with its utilization), diagnosed once on Best after the
+	// search settles. Empty when the search was cancelled or the
+	// diagnosis failed — the ranking itself never depends on it.
+	Bottleneck     string
+	BottleneckUtil float64
 }
 
 // Moves enumerates the legal transformations of a program. Legality
@@ -409,7 +416,7 @@ func SearchCtx(ctx context.Context, p *source.Program, opt SearchOptions) (Searc
 	}
 	hits, misses := caches.Seg.Stats()
 	nestHits, nestMisses := caches.Nest.Stats()
-	return SearchResult{
+	out := SearchResult{
 		Best:          best.prog,
 		BestCost:      best.cost,
 		InitialCost:   initCost,
@@ -422,5 +429,34 @@ func SearchCtx(ctx context.Context, p *source.Program, opt SearchOptions) (Searc
 		NestHits:      nestHits - nestHits0,
 		NestMisses:    nestMisses - nestMisses0,
 		TetrisCalls:   caches.Nest.TetrisCalls() - tetris0,
-	}, ctxErr
+	}
+	if ctxErr == nil {
+		out.Bottleneck, out.BottleneckUtil = diagnoseBest(best.prog, opt)
+	}
+	return out, ctxErr
+}
+
+// diagnoseBest names the winning variant's bottleneck unit. The
+// diagnosis is advisory — it runs once, after ranking, and any failure
+// (e.g. a nest shape the explainer cannot lower) degrades to an empty
+// bottleneck rather than failing a completed search.
+func diagnoseBest(p *source.Program, opt SearchOptions) (string, float64) {
+	tbl, err := sem.Analyze(p)
+	if err != nil {
+		return "", 0
+	}
+	nominal := make(map[string]float64, len(opt.Nominal))
+	for k, v := range opt.Nominal {
+		nominal[string(k)] = v
+	}
+	aopt := opt.aggOptions()
+	rep, err := explain.Program(p, tbl, opt.Machine, explain.Options{
+		Aggregate:  &aopt,
+		Nominal:    nominal,
+		SkipWhatIf: true,
+	})
+	if err != nil {
+		return "", 0
+	}
+	return rep.Bottleneck, rep.BottleneckUtil
 }

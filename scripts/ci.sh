@@ -68,6 +68,65 @@ if go run ./cmd/predict -machine examples/custom-machine/power1mem.json "$memdir
 fi
 rm -rf "$memdir"
 
+echo "== explain smoke"
+# The diagnosis must name a bottleneck on the builtin matmul kernel,
+# and the one-more-pipe what-if on the 4x4-unrolled multiply must
+# reproduce the POWER2F result documented in DESIGN.md: a second FPU
+# pipe helps (1.71x there) exactly because the FPU is critical.
+exdir=$(mktemp -d)
+if ! go run ./cmd/predict -explain -kernel matmul | grep -q "bottleneck:"; then
+	echo "explain reported no bottleneck for matmul" >&2
+	rm -rf "$exdir"
+	exit 1
+fi
+cat >"$exdir/mm44.f" <<'EOF'
+program matmul44
+  integer i, j, k, n
+  parameter (n = 32)
+  real a(32,32), b(32,32), c(32,32)
+  do i = 1, n, 4
+    do j = 1, n, 4
+      do k = 1, n
+        c(i,j) = c(i,j) + a(i,k) * b(k,j)
+        c(i+1,j) = c(i+1,j) + a(i+1,k) * b(k,j)
+        c(i+2,j) = c(i+2,j) + a(i+2,k) * b(k,j)
+        c(i+3,j) = c(i+3,j) + a(i+3,k) * b(k,j)
+        c(i,j+1) = c(i,j+1) + a(i,k) * b(k,j+1)
+        c(i+1,j+1) = c(i+1,j+1) + a(i+1,k) * b(k,j+1)
+        c(i+2,j+1) = c(i+2,j+1) + a(i+2,k) * b(k,j+1)
+        c(i+3,j+1) = c(i+3,j+1) + a(i+3,k) * b(k,j+1)
+        c(i,j+2) = c(i,j+2) + a(i,k) * b(k,j+2)
+        c(i+1,j+2) = c(i+1,j+2) + a(i+1,k) * b(k,j+2)
+        c(i+2,j+2) = c(i+2,j+2) + a(i+2,k) * b(k,j+2)
+        c(i+3,j+2) = c(i+3,j+2) + a(i+3,k) * b(k,j+2)
+        c(i,j+3) = c(i,j+3) + a(i,k) * b(k,j+3)
+        c(i+1,j+3) = c(i+1,j+3) + a(i+1,k) * b(k,j+3)
+        c(i+2,j+3) = c(i+2,j+3) + a(i+2,k) * b(k,j+3)
+        c(i+3,j+3) = c(i+3,j+3) + a(i+3,k) * b(k,j+3)
+      end do
+    end do
+  end do
+end
+EOF
+mm44=$(go run ./cmd/predict -explain "$exdir/mm44.f")
+rm -rf "$exdir"
+if ! echo "$mm44" | grep -q "bottleneck:   FPU"; then
+	echo "4x4-unrolled matmul bottleneck is not the FPU:" >&2
+	echo "$mm44" >&2
+	exit 1
+fi
+speedup=$(echo "$mm44" | sed -n 's/.*one more FPU pipe.*: .* cycles, \([0-9.]*\)x speedup/\1/p')
+if [ -z "$speedup" ] || ! awk "BEGIN { exit !($speedup > 1.0) }"; then
+	echo "one-more-FPU what-if did not predict a speedup (got '${speedup:-none}'):" >&2
+	echo "$mm44" >&2
+	exit 1
+fi
+
+echo "== explain overhead guard (1 iteration)"
+# BenchmarkExplainGuard self-measures EstimateExplained against plain
+# Estimate and fails above its pinned overhead budget.
+go test -run '^$' -bench 'Explain' -benchtime 1x ./internal/tetris
+
 echo "== differential fuzz corpus"
 # Fixed-seed metamorphic/differential gating corpus: the estimators
 # vs the exact oracle and the harness's equivalence invariants. Any
