@@ -7,6 +7,7 @@
 //	predict [-machine NAME|spec.json] [-args n=1000,alpha=2]
 //	        [-simulate] [-block] [-optimize [-v]] [-explain] file.f
 //	predict [-machine M] [-args ...] [-parallel N] file1.f file2.f ...
+//	predict -explore template.json [-args ...] [-target CYCLES] file1.f ...
 //	predict -list-machines
 //
 // -machine accepts either a registered target name (see
@@ -16,6 +17,14 @@
 // Several files select batch mode: they are priced concurrently on a
 // worker pool (bounded by -parallel, default GOMAXPROCS) sharing one
 // segment-cost cache, and a one-line summary is printed per file.
+//
+// -explore names a machine-template file (see README "Design-space
+// exploration"): every file (or the -kernel program) becomes one
+// kernel of the workload, the template's lattice of machine
+// configurations is swept, and the Pareto front over (hardware
+// budget, per-kernel cost) is printed — with, when -target is given,
+// the cheapest configuration meeting that total cycle budget. The
+// template carries its own base machine, so -machine is ignored.
 package main
 
 import (
@@ -42,6 +51,8 @@ func main() {
 	explainFlag := flag.Bool("explain", false, "diagnose the prediction: bottleneck unit, critical path, one-more-pipe what-if")
 	verbose := flag.Bool("v", false, "with -optimize, also print search cache statistics")
 	parallel := flag.Int("parallel", 0, "batch worker pool size (0 = GOMAXPROCS); used with multiple files")
+	exploreFlag := flag.String("explore", "", "machine-template file: sweep its lattice and print the Pareto front")
+	targetCost := flag.Float64("target", 0, "with -explore, cycle budget the best configuration must meet")
 	flag.Parse()
 
 	if *listMachines {
@@ -51,12 +62,17 @@ func main() {
 		return
 	}
 
+	args := parseArgs(*argList)
+
+	if *exploreFlag != "" {
+		runExplore(*exploreFlag, *kernel, flag.Args(), args, *targetCost, *parallel)
+		return
+	}
+
 	target, err := perfpredict.LoadTarget(*machineName)
 	if err != nil {
 		fatalf("%v", err)
 	}
-
-	args := parseArgs(*argList)
 
 	if *kernel == "" && len(flag.Args()) > 1 {
 		if *simulate || *block || *optimize || *explainFlag {
@@ -211,6 +227,87 @@ func printExplain(rep *perfpredict.ExplainReport) {
 	if w := rep.WhatIf; w != nil {
 		fmt.Printf("  one more %s pipe (%d total): %.0f cycles, %.2fx speedup\n",
 			w.Unit, w.Pipes, w.Cycles, w.Speedup)
+	}
+}
+
+// runExplore sweeps a machine-template lattice over the given kernels
+// and prints the Pareto front, the pruned count, the best
+// configuration, and the slowest/fastest span — the design-space view
+// of the paper's model: instead of predicting one program on one
+// machine, the machine space is searched.
+func runExplore(tplPath, kernel string, files []string, args map[string]float64, target float64, workers int) {
+	data, err := os.ReadFile(tplPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tpl, err := perfpredict.ParseMachineTemplate(data)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var ks []perfpredict.ExploreKernel
+	if kernel != "" {
+		k, err := kernels.Get(kernel)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ks = append(ks, perfpredict.ExploreKernel{Name: kernel, Source: k.Src})
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ks = append(ks, perfpredict.ExploreKernel{Name: f, Source: string(src)})
+	}
+	if len(ks) == 0 {
+		fatalf("usage: predict -explore template.json file.f ... (or -kernel name)")
+	}
+	res, err := perfpredict.ExploreCtx(context.Background(), tpl, ks,
+		perfpredict.ExploreOptions{Workers: workers, Args: args, Target: target})
+	if err != nil {
+		fatalf("explore: %v", err)
+	}
+	fmt.Printf("template:     %s (%d configurations, %d kernels)\n", tplPath, res.Cells, len(res.Kernels))
+	fmt.Println("front:")
+	fmt.Printf("  %-44s %10s %14s\n", "configuration", "budget", "total cycles")
+	for _, c := range res.Front {
+		fmt.Printf("  %-44s %10.1f %14.0f\n", c.Name, c.Budget, c.Total)
+	}
+	fmt.Printf("pruned:       %d dominated configurations\n", len(res.Pruned))
+	// Span over the whole lattice, not just the front: how much the
+	// design choice is worth for this workload.
+	all := res.Front
+	slow, fast := &all[0], &all[0]
+	for i := range all {
+		if all[i].Total > slow.Total {
+			slow = &all[i]
+		}
+		if all[i].Total < fast.Total {
+			fast = &all[i]
+		}
+	}
+	var slowName string
+	slowTotal := slow.Total
+	slowName = slow.Name
+	for i := range res.Pruned {
+		if res.Pruned[i].Total > slowTotal {
+			slowTotal = res.Pruned[i].Total
+			slowName = res.Pruned[i].Name
+		}
+	}
+	if fast.Total > 0 {
+		fmt.Printf("span:         %.2fx (%s vs %s)\n", slowTotal/fast.Total, slowName, fast.Name)
+	}
+	if target > 0 {
+		if res.Best != nil {
+			fmt.Printf("best:         %s (budget %.1f, %.0f cycles <= target %.0f)\n",
+				res.Best.Name, res.Best.Budget, res.Best.Total, target)
+		} else {
+			fmt.Printf("best:         no configuration meets target %.0f cycles\n", target)
+		}
+	} else if res.Best != nil {
+		fmt.Printf("fastest:      %s (budget %.1f, %.0f cycles)\n",
+			res.Best.Name, res.Best.Budget, res.Best.Total)
 	}
 }
 

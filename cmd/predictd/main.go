@@ -6,6 +6,7 @@
 //	         [-max-body 1048576] [-workers 0] [-pprof]
 //	         [-result-cache-bytes 67108864] [-no-result-cache]
 //	         [-cache-snapshot path] [-max-jobs 2] [-job-timeout 5m]
+//	         [-max-cells 4096]
 //
 // Endpoints (all POST, JSON in/out; see README "Serving"):
 //
@@ -13,6 +14,8 @@
 //	/v1/batch            price many programs on one warm shared cache
 //	/v1/optimize         search transformations for a faster variant
 //	/v1/optimize?async=1 submit the search as a job, 202 + job id
+//	/v1/explore          sweep a machine-template lattice to a Pareto front
+//	/v1/explore?async=1  submit the sweep as a job, 202 + job id
 //	/v1/jobs/{id}        GET: poll job state, progress, and result
 //
 // plus GET /metrics (Prometheus text), /healthz, /readyz, and — with
@@ -56,8 +59,9 @@ func main() {
 	cacheBytes := flag.Int64("result-cache-bytes", 0, "result-cache byte budget (0 = 64 MiB)")
 	noCache := flag.Bool("no-result-cache", false, "disable the content-addressed result cache")
 	snapshot := flag.String("cache-snapshot", "", "result-cache snapshot file: loaded on boot, written on drain")
-	maxJobs := flag.Int("max-jobs", 2, "concurrently running async optimize jobs")
-	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job search deadline for async optimize")
+	maxJobs := flag.Int("max-jobs", 2, "concurrently running async jobs (optimize searches, explore sweeps)")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job deadline for async optimize/explore")
+	maxCells := flag.Int("max-cells", 4096, "largest machine-template lattice /v1/explore accepts")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
@@ -70,6 +74,7 @@ func main() {
 		DisableResultCache: *noCache,
 		MaxJobs:            *maxJobs,
 		JobTimeout:         *jobTimeout,
+		MaxExploreCells:    *maxCells,
 	})
 	if *snapshot != "" && srv.Results() != nil {
 		// A missing or corrupt snapshot only costs warmth: log and

@@ -1,0 +1,145 @@
+// Design-space exploration: run the paper's model backwards. Instead
+// of predicting one program on one machine, template.json spans a
+// small lattice of POWER1 variants — dispatch width 4 or 5, one or
+// two FPU pipes, one or two FXU pipes — and the predictor prices an
+// unrolled matrix multiply on every configuration. The sweep reduces
+// the lattice to a Pareto front over (hardware budget, predicted
+// cycles) and, given a cycle target, names the cheapest configuration
+// that meets it.
+//
+// The punchline is rediscovery: the lattice contains the POWER2F
+// shape (second FPU pipe, wider dispatch) that examples/custom-machine
+// hand-writes as a full spec, and its predicted speedup over the
+// POWER1 base is the same 1.71x that comparison measures. Here nobody
+// wrote the better machine down — the exploration found it.
+//
+// Pruning uses measured dominance only, never a structural "more
+// resources is faster" ordering: greedy list scheduling is not
+// monotone in resources (Graham's anomaly), so a bigger machine must
+// prove itself on predicted cycles. This lattice shows why that
+// matters in the other direction too — the dispatch=5 variants cost
+// the same cycles as dispatch=4 here but a larger budget, so it is
+// the "bigger" machines that get pruned.
+//
+// Run from this directory:
+//
+//	go run .
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"perfpredict"
+)
+
+// The workload: the 4x4-unrolled matrix multiply from
+// examples/custom-machine — 16 independent FMAs in the innermost
+// block, dense enough floating-point work that a second FPU pipe
+// actually shows up in the prediction.
+const matmul = `
+program matmul44
+  integer i, j, k, n
+  parameter (n = 32)
+  real a(32,32), b(32,32), c(32,32)
+  do i = 1, n, 4
+    do j = 1, n, 4
+      do k = 1, n
+        c(i,j) = c(i,j) + a(i,k) * b(k,j)
+        c(i+1,j) = c(i+1,j) + a(i+1,k) * b(k,j)
+        c(i+2,j) = c(i+2,j) + a(i+2,k) * b(k,j)
+        c(i+3,j) = c(i+3,j) + a(i+3,k) * b(k,j)
+        c(i,j+1) = c(i,j+1) + a(i,k) * b(k,j+1)
+        c(i+1,j+1) = c(i+1,j+1) + a(i+1,k) * b(k,j+1)
+        c(i+2,j+1) = c(i+2,j+1) + a(i+2,k) * b(k,j+1)
+        c(i+3,j+1) = c(i+3,j+1) + a(i+3,k) * b(k,j+1)
+        c(i,j+2) = c(i,j+2) + a(i,k) * b(k,j+2)
+        c(i+1,j+2) = c(i+1,j+2) + a(i+1,k) * b(k,j+2)
+        c(i+2,j+2) = c(i+2,j+2) + a(i+2,k) * b(k,j+2)
+        c(i+3,j+2) = c(i+3,j+2) + a(i+3,k) * b(k,j+2)
+        c(i,j+3) = c(i,j+3) + a(i,k) * b(k,j+3)
+        c(i+1,j+3) = c(i+1,j+3) + a(i+1,k) * b(k,j+3)
+        c(i+2,j+3) = c(i+2,j+3) + a(i+2,k) * b(k,j+3)
+        c(i+3,j+3) = c(i+3,j+3) + a(i+3,k) * b(k,j+3)
+      end do
+    end do
+  end do
+end
+`
+
+func main() {
+	data, err := os.ReadFile("template.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tpl, err := perfpredict.ParseMachineTemplate(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cells, err := tpl.Size()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lattice:      %d POWER1 variants (dispatch 4-5, FPU 1-2, FXU 1-2)\n\n", cells)
+
+	kernels := []perfpredict.ExploreKernel{{Name: "matmul44", Source: matmul}}
+	res, err := perfpredict.Explore(tpl, kernels)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Pareto front over (hardware budget, predicted cycles):")
+	for _, c := range res.Front {
+		fmt.Printf("  %-36s budget %4.1f   %6.0f cycles\n", c.Name, c.Budget, c.Total)
+	}
+	fmt.Printf("pruned: %d dominated configurations", len(res.Pruned))
+	if len(res.Pruned) > 0 {
+		w := res.Pruned[0]
+		fmt.Printf(" (e.g. %s, dominated by cell #%d)", w.Name, w.DominatedBy)
+	}
+	fmt.Print("\n\n")
+
+	// The rediscovery: compare the POWER1 base cell against the POWER2F
+	// shape — two FPU pipes, five-wide dispatch — and recover the same
+	// 1.71x that examples/custom-machine measures with a hand-written
+	// spec. The base sits on the front (it is the cheapest machine);
+	// the POWER2F shape happens to be pruned here, because its extra
+	// dispatch slot buys nothing on this workload over the dispatch=4
+	// two-FPU variant. Totals live in both lists, so the comparison
+	// does not care.
+	base := totalOf(res, "POWER1[dispatch=4,FPU=1,FXU=1]")
+	power2f := totalOf(res, "POWER1[dispatch=5,FPU=2,FXU=1]")
+	fmt.Printf("POWER2F shape speedup over POWER1 base: %.2fx (%.0f -> %.0f cycles)\n",
+		base/power2f, base, power2f)
+
+	// With a cycle budget, exploration names the cheapest machine that
+	// meets it — the design question the sweep exists to answer.
+	target := 22000.0
+	res2, err := perfpredict.ExploreCtx(context.Background(), tpl, kernels, perfpredict.ExploreOptions{Target: target})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res2.Best != nil {
+		fmt.Printf("cheapest configuration under %.0f cycles: %s (budget %.1f, %.0f cycles)\n",
+			target, res2.Best.Name, res2.Best.Budget, res2.Best.Total)
+	}
+}
+
+// totalOf finds a configuration's predicted total by name, whether the
+// frontier kept it or pruned it.
+func totalOf(res *perfpredict.ExploreResult, name string) float64 {
+	for i := range res.Front {
+		if res.Front[i].Name == name {
+			return res.Front[i].Total
+		}
+	}
+	for i := range res.Pruned {
+		if res.Pruned[i].Name == name {
+			return res.Pruned[i].Total
+		}
+	}
+	log.Fatalf("configuration %s not in the lattice", name)
+	return 0
+}

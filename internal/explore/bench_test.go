@@ -1,0 +1,66 @@
+package explore
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"perfpredict/internal/aggregate"
+	"perfpredict/internal/machine"
+)
+
+func benchInputs(b *testing.B) (*machine.SpecTemplate, []Kernel) {
+	b.Helper()
+	src, err := os.ReadFile("../../testdata/corpus/programs/prog001.f")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tpl := &machine.SpecTemplate{
+		BaseMachine: "POWER1",
+		Dispatch:    &machine.IntRange{Min: 4, Max: 5},
+		Pipes: map[string]machine.IntRange{
+			"FPU": {Min: 1, Max: 2},
+			"FXU": {Min: 1, Max: 2},
+		},
+	}
+	return tpl, []Kernel{{Name: "prog001", Source: string(src)}}
+}
+
+func runExploreBench(b *testing.B, warm bool) {
+	tpl, kernels := benchInputs(b)
+	size, err := tpl.Size()
+	if err != nil {
+		b.Fatal(err)
+	}
+	shared := aggregate.NewSegCache()
+	if warm {
+		if _, err := Run(context.Background(), tpl, kernels, Options{Workers: 4, SegCache: shared}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var front int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seg := shared
+		if !warm {
+			seg = aggregate.NewSegCache()
+		}
+		res, err := Run(context.Background(), tpl, kernels, Options{Workers: 4, SegCache: seg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		front = len(res.Front)
+	}
+	b.StopTimer()
+	cells := float64(size) * float64(b.N)
+	b.ReportMetric(cells/b.Elapsed().Seconds(), "cells/s")
+	b.ReportMetric(float64(front), "front")
+}
+
+// BenchmarkExploreCold sweeps an 8-cell POWER1 lattice with a fresh
+// segment cache every iteration — every cell pays full analysis cost.
+func BenchmarkExploreCold(b *testing.B) { runExploreBench(b, false) }
+
+// BenchmarkExploreWarm sweeps the same lattice over a pre-warmed
+// shared segment cache, the steady state of a serving deployment.
+func BenchmarkExploreWarm(b *testing.B) { runExploreBench(b, true) }

@@ -1,0 +1,73 @@
+package explore
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"perfpredict/internal/machine"
+)
+
+// TestGrahamAnomalyKeepsSmallerConfig pins the counterexample that
+// justifies dominance-only pruning. On POWER1, giving prog001.f a
+// second FXU pipe makes the greedy packer *slower* (Graham's anomaly:
+// list scheduling is not monotone in resources). A frontier builder
+// that assumed "more pipes can't hurt" would prune the one-pipe
+// config structurally and report the worse machine as the optimum.
+// The numbers are pinned so a silent model change that erases the
+// anomaly (or flips its direction) fails loudly here.
+func TestGrahamAnomalyKeepsSmallerConfig(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/corpus/programs/prog001.f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl := &machine.SpecTemplate{
+		BaseMachine: "POWER1",
+		Pipes:       map[string]machine.IntRange{"FXU": {Min: 1, Max: 2}},
+	}
+	res, err := Run(context.Background(), tpl, []Kernel{{Name: "prog001", Source: string(src)}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells != 2 {
+		t.Fatalf("lattice has %d cells, want 2", res.Cells)
+	}
+
+	if len(res.Front) != 1 {
+		t.Fatalf("front has %d members, want exactly the FXU=1 config: %+v", len(res.Front), res.Front)
+	}
+	small := res.Front[0]
+	if small.Name != "POWER1[FXU=1]" || small.Index != 0 {
+		t.Fatalf("front member is %s (index %d), want POWER1[FXU=1] at index 0", small.Name, small.Index)
+	}
+	if small.Total != 1475663 {
+		t.Errorf("FXU=1 total = %.0f cycles, pinned at 1475663", small.Total)
+	}
+
+	if len(res.Pruned) != 1 {
+		t.Fatalf("pruned has %d entries, want 1: %+v", len(res.Pruned), res.Pruned)
+	}
+	big := res.Pruned[0]
+	if big.Name != "POWER1[FXU=2]" {
+		t.Fatalf("pruned config is %s, want POWER1[FXU=2]", big.Name)
+	}
+	if big.DominatedBy != small.Index {
+		t.Errorf("witness index = %d, want %d", big.DominatedBy, small.Index)
+	}
+	// The anomaly itself: the structurally bigger machine runs the
+	// kernel strictly slower, and costs more budget doing it.
+	if big.Total <= small.Total {
+		t.Errorf("anomaly gone: FXU=2 total %.0f <= FXU=1 total %.0f", big.Total, small.Total)
+	}
+	if big.Total != 1661006 {
+		t.Errorf("FXU=2 total = %.0f cycles, pinned at 1661006", big.Total)
+	}
+	if big.Budget <= small.Budget {
+		t.Errorf("budget ordering broken: FXU=2 %.1f <= FXU=1 %.1f", big.Budget, small.Budget)
+	}
+
+	// Best with no target is the fastest machine — the smaller one.
+	if res.Best == nil || res.Best.Index != small.Index {
+		t.Errorf("Best = %+v, want the FXU=1 config", res.Best)
+	}
+}

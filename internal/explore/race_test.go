@@ -1,0 +1,114 @@
+package explore
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"perfpredict/internal/aggregate"
+	"perfpredict/internal/machine"
+)
+
+func raceTemplate(t *testing.T) (*machine.SpecTemplate, []Kernel) {
+	t.Helper()
+	src, err := os.ReadFile("../../testdata/corpus/programs/prog001.f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl := &machine.SpecTemplate{
+		BaseMachine: "POWER1",
+		Dispatch:    &machine.IntRange{Min: 4, Max: 5},
+		Pipes: map[string]machine.IntRange{
+			"FPU": {Min: 1, Max: 2},
+			"FXU": {Min: 1, Max: 2},
+		},
+	}
+	return tpl, []Kernel{{Name: "prog001", Source: string(src)}}
+}
+
+// TestConcurrentExploresDeterministic runs eight sweeps at once over a
+// shared, warm segment cache and demands each comes out byte-identical
+// to a serial baseline. Under -race this also shakes out unsynchronised
+// access to the cache and the per-sweep result assembly.
+func TestConcurrentExploresDeterministic(t *testing.T) {
+	tpl, kernels := raceTemplate(t)
+	base, err := Run(context.Background(), tpl, kernels, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seg := aggregate.NewSegCache()
+	// Warm it once so the concurrent sweeps all hit the same entries.
+	if _, err := Run(context.Background(), tpl, kernels, Options{Workers: 4, SegCache: seg}); err != nil {
+		t.Fatal(err)
+	}
+
+	const sweeps = 8
+	got := make([][]byte, sweeps)
+	errs := make([]error, sweeps)
+	var wg sync.WaitGroup
+	for i := 0; i < sweeps; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := Run(context.Background(), tpl, kernels, Options{Workers: 4, SegCache: seg})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i], errs[i] = json.Marshal(res)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < sweeps; i++ {
+		if errs[i] != nil {
+			t.Fatalf("sweep %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(got[i], want) {
+			t.Errorf("sweep %d differs from the serial baseline:\n%s\nvs\n%s", i, got[i], want)
+		}
+	}
+}
+
+// TestCancelledExploreLeaksNoGoroutines cancels sweeps mid-flight and
+// checks the worker pool drains: the goroutine count must settle back
+// to where it started.
+func TestCancelledExploreLeaksNoGoroutines(t *testing.T) {
+	tpl, kernels := raceTemplate(t)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 4; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := Run(ctx, tpl, kernels, Options{Workers: 4})
+			done <- err
+		}()
+		cancel()
+		if err := <-done; err == nil {
+			// The sweep may legitimately finish before cancel lands on a
+			// fast machine; only a nil error *after* cancel was observed
+			// by the pool would be a bug, and we can't tell the cases
+			// apart. Errors are the common case; either way the leak
+			// check below is the real assertion.
+			continue
+		}
+	}
+	// Give drained workers a moment to exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after cancelled sweeps", before, runtime.NumGoroutine())
+}

@@ -74,3 +74,77 @@ func FuzzSpecJSON(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSpecTemplate feeds raw bytes to the machine-template loader:
+// anything that parses and validates must size and expand, every
+// expanded cell must be a valid distinct machine, and the template
+// must round-trip through its canonical encoding with a stable
+// fingerprint.
+func FuzzSpecTemplate(f *testing.F) {
+	f.Add([]byte(`{"base_machine":"POWER1","dispatch":[4,5]}`))
+	f.Add([]byte(`{"base_machine":"POWER1","pipes":{"FPU":[1,2]}}`))
+	f.Add([]byte(`{"base_machine":"POWER1","dispatch":[5,4]}`))
+	f.Add([]byte(`not json`))
+	for seed := int64(0); seed < 4; seed++ {
+		tpl := progen.GenTemplate(progen.NewRand(seed), progen.TemplateConfig{})
+		if data, err := tpl.Encode(); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tpl, err := machine.ParseTemplate(data)
+		if err != nil {
+			return
+		}
+		if err := tpl.Validate(); err != nil {
+			return
+		}
+		size, err := tpl.Size()
+		if err != nil {
+			t.Fatalf("validated template failed to size: %v", err)
+		}
+		if size > 1<<12 {
+			// Expansion cost is linear in cells; bound the fuzz iteration.
+			return
+		}
+		cells, err := tpl.Expand()
+		if err != nil {
+			t.Fatalf("validated template failed to expand: %v", err)
+		}
+		if len(cells) != size {
+			t.Fatalf("Size says %d cells, Expand produced %d", size, len(cells))
+		}
+		seen := map[string]bool{}
+		for i, c := range cells {
+			if err := c.Spec.Validate(); err != nil {
+				t.Fatalf("cell %d (%s) invalid: %v", i, c.Spec.Name, err)
+			}
+			m, err := c.Spec.Machine()
+			if err != nil {
+				t.Fatalf("cell %d (%s) failed to build: %v", i, c.Spec.Name, err)
+			}
+			fp := m.Fingerprint().String()
+			if seen[fp] {
+				t.Fatalf("cell %d (%s) duplicates an earlier fingerprint", i, c.Spec.Name)
+			}
+			seen[fp] = true
+		}
+		enc1, err := tpl.Encode()
+		if err != nil {
+			t.Fatalf("validated template failed to encode: %v", err)
+		}
+		back, err := machine.ParseTemplate(enc1)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v", err)
+		}
+		enc2, err := back.Encode()
+		if err != nil || string(enc1) != string(enc2) {
+			t.Fatalf("Encode∘ParseTemplate is not the identity (err %v)", err)
+		}
+		fp1, err1 := tpl.Fingerprint()
+		fp2, err2 := back.Fingerprint()
+		if err1 != nil || err2 != nil || fp1 != fp2 {
+			t.Fatalf("fingerprint unstable across round-trip (errs %v, %v)", err1, err2)
+		}
+	})
+}

@@ -57,6 +57,18 @@
 //     and reports cycles that are Predict's own expressions evaluated
 //     at explain's default point.
 //
+// Machine templates and design-space sweeps (CheckExplore):
+//
+//   - expand-valid / expand-deterministic / expand-duplicate-free:
+//     template expansion yields a canonical lattice of valid,
+//     fingerprint-distinct machines, identically every time.
+//   - explore-deterministic: sweep results are byte-identical across
+//     worker counts and cache warmth.
+//   - front-nondominated / pruned-witnessed / frontier-partition /
+//     best-brute-force: the Pareto front is audited against the
+//     measured-dominance definition — never a structural "more
+//     resources" ordering, which Graham's anomaly forbids.
+//
 // Memory hierarchies (CheckMemory):
 //
 //   - memory-monotone-size: growing a cache level never raises the
@@ -459,6 +471,7 @@ func Run(n int, baseSeed int64, cfg Config) Summary {
 			s.Violations = append(s.Violations, CheckResultCache(seed)...)
 			s.Violations = append(s.Violations, CheckMemory(seed)...)
 			s.Violations = append(s.Violations, CheckExplain(seed)...)
+			s.Violations = append(s.Violations, CheckExplore(seed)...)
 		}
 		s.Samples++
 	}

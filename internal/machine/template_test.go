@@ -1,0 +1,247 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func power1Template(t *testing.T) *SpecTemplate {
+	t.Helper()
+	tpl, err := ParseTemplate([]byte(`{
+		"base_machine": "POWER1",
+		"dispatch": [4, 5],
+		"pipes": {"FPU": [1, 2], "FXU": [1, 3]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tpl
+}
+
+func TestTemplateSizeAndCanonicalOrder(t *testing.T) {
+	tpl := power1Template(t)
+	size, err := tpl.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 2*2*3 {
+		t.Fatalf("size = %d, want 12", size)
+	}
+	cells, err := tpl.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != size {
+		t.Fatalf("expanded %d cells, Size says %d", len(cells), size)
+	}
+	// Canonical order: dispatch slowest, then pipes sorted by unit
+	// (FPU before FXU), last dimension fastest.
+	wantFirst := []string{
+		"POWER1[dispatch=4,FPU=1,FXU=1]",
+		"POWER1[dispatch=4,FPU=1,FXU=2]",
+		"POWER1[dispatch=4,FPU=1,FXU=3]",
+		"POWER1[dispatch=4,FPU=2,FXU=1]",
+	}
+	for i, want := range wantFirst {
+		if cells[i].Spec.Name != want {
+			t.Errorf("cell %d = %s, want %s", i, cells[i].Spec.Name, want)
+		}
+	}
+	last := cells[len(cells)-1]
+	if last.Spec.Name != "POWER1[dispatch=5,FPU=2,FXU=3]" {
+		t.Errorf("last cell = %s", last.Spec.Name)
+	}
+	if last.Choices["dispatch"] != 5 || last.Choices["pipes.FPU"] != 2 || last.Choices["pipes.FXU"] != 3 {
+		t.Errorf("last choices = %v", last.Choices)
+	}
+	if last.Spec.DispatchWidth != 5 || last.Spec.Units["FPU"] != 2 || last.Spec.Units["FXU"] != 3 {
+		t.Errorf("last spec not mutated: dispatch %d units %v", last.Spec.DispatchWidth, last.Spec.Units)
+	}
+	// The base spec itself must not have been mutated by expansion.
+	base, err := tpl.ResolveBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.DispatchWidth != 4 || base.Units["FPU"] != 1 {
+		t.Errorf("expansion mutated the resolved base: %+v", base)
+	}
+}
+
+func TestTemplateOpAlternatives(t *testing.T) {
+	tpl, err := ParseTemplate([]byte(`{
+		"base_machine": "POWER1",
+		"ops": {"fmul": [
+			[{"name": "fm.fast", "segments": [{"unit": "FPU", "noncov": 1}]}],
+			[{"name": "fm.slow", "segments": [{"unit": "FPU", "noncov": 1, "cov": 2}]}]
+		]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := tpl.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("expanded %d cells, want 2", len(cells))
+	}
+	if cells[0].Spec.Name != "POWER1[fmul@0]" || cells[1].Spec.Name != "POWER1[fmul@1]" {
+		t.Errorf("names %s, %s", cells[0].Spec.Name, cells[1].Spec.Name)
+	}
+	if got := cells[1].Spec.Ops["fmul"][0].Name; got != "fm.slow" {
+		t.Errorf("alternative 1 expansion = %s, want fm.slow", got)
+	}
+	if got := cells[0].Choices["ops.fmul"]; got != 0 {
+		t.Errorf("choices[ops.fmul] = %d, want 0", got)
+	}
+}
+
+func TestTemplateBudgetOf(t *testing.T) {
+	tpl := power1Template(t)
+	cells, err := tpl.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default weights: every pipe and dispatch slot costs 1. POWER1
+	// has 4 units; base cell = 4 pipes + dispatch 4 = 8.
+	if got := tpl.BudgetOf(cells[0].Spec); got != 8 {
+		t.Errorf("default budget of base cell = %v, want 8", got)
+	}
+
+	half := 0.5
+	zero := 0.0
+	tpl.Budget = &BudgetSpec{
+		DefaultPipeWeight: &half,
+		PipeWeights:       map[string]float64{"FPU": 4},
+		DispatchWeight:    &zero,
+	}
+	// Base cell: FPU 1×4 + (BranchU + CR-LogicU + FXU) 3×0.5 + dispatch 0.
+	if got := tpl.BudgetOf(cells[0].Spec); got != 4+1.5 {
+		t.Errorf("weighted budget = %v, want 5.5", got)
+	}
+}
+
+func TestTemplateFingerprintResolvesBase(t *testing.T) {
+	byName := power1Template(t)
+	m, err := Lookup("POWER1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline := *byName
+	inline.BaseMachine = ""
+	inline.Base = SpecOf(m)
+	fp1, err := byName.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := inline.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Errorf("base_machine and identical inline base fingerprint differently")
+	}
+	// A different range must change the fingerprint.
+	changed := *byName
+	changed.Dispatch = &IntRange{Min: 4, Max: 6}
+	fp3, err := changed.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3 == fp1 {
+		t.Errorf("changing the dispatch range left the fingerprint unchanged")
+	}
+}
+
+func TestTemplateEncodeRoundTrip(t *testing.T) {
+	tpl := power1Template(t)
+	enc1, err := tpl.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTemplate(enc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc1) != string(enc2) {
+		t.Errorf("Encode∘ParseTemplate is not the identity:\n%s\nvs\n%s", enc1, enc2)
+	}
+	if !strings.Contains(string(enc1), `"dispatch": [`) {
+		t.Errorf("ranges not encoded as arrays:\n%s", enc1)
+	}
+}
+
+func TestTemplateValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"no base", `{"dispatch":[4,5]}`, "no base"},
+		{"both bases", `{"base_machine":"POWER1","base":{"name":"x"},"dispatch":[4,5]}`, "not both"},
+		{"unknown base machine", `{"base_machine":"PDP11"}`, "unknown"},
+		{"inverted dispatch", `{"base_machine":"POWER1","dispatch":[5,4]}`, "1 <= min <= max"},
+		{"zero pipe min", `{"base_machine":"POWER1","pipes":{"FPU":[0,2]}}`, "1 <= min <= max"},
+		{"unknown unit", `{"base_machine":"POWER1","pipes":{"VPU":[1,2]}}`, "unknown unit"},
+		{"unknown op", `{"base_machine":"POWER1","ops":{"frobnicate":[[{"name":"z","segments":[{"unit":"FPU","noncov":1}]}]]}}`, "unknown op"},
+		{"empty alternatives", `{"base_machine":"POWER1","ops":{"fmul":[]}}`, "no alternatives"},
+		{"empty alternative", `{"base_machine":"POWER1","ops":{"fmul":[[]]}}`, "is empty"},
+		{"negative weight", `{"base_machine":"POWER1","dispatch":[4,5],"budget":{"dispatch_weight":-1}}`, "negative"},
+		{"weight for unknown unit", `{"base_machine":"POWER1","dispatch":[4,5],"budget":{"pipe_weights":{"VPU":2}}}`, "unknown unit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tpl, err := ParseTemplate([]byte(tc.json))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			err = tpl.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid template")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	if _, err := ParseTemplate([]byte(`{"base_machine":"POWER1","sauce":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseTemplate([]byte(`{"base_machine":"POWER1"} trailing`)); err == nil {
+		t.Error("trailing data accepted")
+	}
+}
+
+// TestTemplateExpandValidatesCells: an op alternative that demands two
+// pipes of a kind whose range reaches down to one is caught at the
+// offending cell, not silently emitted.
+func TestTemplateExpandValidatesCells(t *testing.T) {
+	tpl, err := ParseTemplate([]byte(`{
+		"base_machine": "POWER1",
+		"pipes": {"FPU": [1, 2]},
+		"ops": {"fmul": [[
+			{"name": "fm.wide", "segments": [
+				{"unit": "FPU", "noncov": 1},
+				{"unit": "FPU", "start": 2, "noncov": 1}
+			]}
+		]]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.Validate(); err != nil {
+		t.Fatalf("template-level validation should pass (per-cell rule): %v", err)
+	}
+	_, err = tpl.Expand()
+	if err == nil {
+		t.Fatal("Expand accepted a lattice with an invalid cell")
+	}
+	if !strings.Contains(err.Error(), "FPU=1") {
+		t.Errorf("error %q does not name the offending cell", err)
+	}
+}

@@ -1,0 +1,49 @@
+package resultcache_test
+
+import (
+	"testing"
+
+	"perfpredict/internal/resultcache"
+	"perfpredict/internal/source"
+)
+
+// TestExploreKeySeparation: every request dimension of a design-space
+// sweep — template, kernel set, kernel order, evaluation point, cost
+// target — must move the key, and the explore domain must not alias
+// the other key builders even over identical inputs.
+func TestExploreKeySeparation(t *testing.T) {
+	tpl := source.Fingerprint{}.MixString("template A")
+	tpl2 := source.Fingerprint{}.MixString("template B")
+	k1 := source.Fingerprint{}.MixString("kernel 1")
+	k2 := source.Fingerprint{}.MixString("kernel 2")
+	args := map[string]float64{"n": 64}
+
+	base := resultcache.ExploreKey(tpl, []source.Fingerprint{k1, k2}, args, 0)
+	distinct := map[string]resultcache.Key{
+		"different template": resultcache.ExploreKey(tpl2, []source.Fingerprint{k1, k2}, args, 0),
+		"different kernel":   resultcache.ExploreKey(tpl, []source.Fingerprint{k1, k1}, args, 0),
+		"kernel order":       resultcache.ExploreKey(tpl, []source.Fingerprint{k2, k1}, args, 0),
+		"dropped kernel":     resultcache.ExploreKey(tpl, []source.Fingerprint{k1}, args, 0),
+		"different args":     resultcache.ExploreKey(tpl, []source.Fingerprint{k1, k2}, map[string]float64{"n": 65}, 0),
+		"nil vs empty args":  resultcache.ExploreKey(tpl, []source.Fingerprint{k1, k2}, nil, 0),
+		"target set":         resultcache.ExploreKey(tpl, []source.Fingerprint{k1, k2}, args, 30000),
+		"different target":   resultcache.ExploreKey(tpl, []source.Fingerprint{k1, k2}, args, 30001),
+	}
+	for name, key := range distinct {
+		if key == base {
+			t.Errorf("%s: key unchanged", name)
+		}
+	}
+
+	// Stability: identical inputs rebuild the identical key (the cache
+	// survives restarts via snapshots, so keys must be reproducible).
+	if again := resultcache.ExploreKey(tpl, []source.Fingerprint{k1, k2}, args, 0); again != base {
+		t.Error("identical inputs produced a different key")
+	}
+
+	// Domain separation: a batch over the same kernels under a machine
+	// fingerprint equal to the template fingerprint must not collide.
+	if b := resultcache.BatchKey([]source.Fingerprint{k1, k2}, tpl, args); b == base {
+		t.Error("ExploreKey aliases BatchKey over identical inputs")
+	}
+}

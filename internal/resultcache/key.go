@@ -110,6 +110,26 @@ func ExplainKey(prog, mach source.Fingerprint, nominal map[string]float64, skipW
 	return keyOf(fp)
 }
 
+// ExploreKey is the identity of a design-space sweep: the machine
+// template's content fingerprint (base resolved, so naming a
+// registered machine and inlining the identical spec share entries),
+// the ordered kernel fingerprints (order matters — cost vectors are
+// index-aligned), the evaluation point, and the cost target. Worker
+// counts, cache handles, and progress hooks are excluded: sweeps are
+// deterministic and cache-state independent by the library's
+// contract.
+func ExploreKey(tpl source.Fingerprint, kernels []source.Fingerprint, args map[string]float64, target float64) Key {
+	fp := source.Fingerprint{}.MixString("resultcache/explore/v1")
+	fp = fp.Mix(tpl)
+	fp = fp.MixUint64(uint64(len(kernels)))
+	for _, k := range kernels {
+		fp = fp.Mix(k)
+	}
+	fp = mixFloatMap(fp, args, args != nil)
+	fp = fp.MixUint64(math.Float64bits(target))
+	return keyOf(fp)
+}
+
 // SourceKey fingerprints raw program text that failed to parse, so
 // even per-slot error responses stay content-addressed (two batches
 // containing the same broken source share the same key).

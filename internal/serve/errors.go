@@ -1,6 +1,9 @@
 package serve
 
-import "net/http"
+import (
+	"fmt"
+	"net/http"
+)
 
 // Error codes in structured error bodies. Every non-2xx response the
 // service writes is an ErrorResponse carrying one of these, so
@@ -13,6 +16,8 @@ const (
 	CodeBodyTooLarge      = "body_too_large"     // 413: body exceeds -max-body
 	CodeBadProgram        = "bad_program"        // 422: F-lite source fails to parse or analyze
 	CodeInvalidSpec       = "invalid_spec"       // 422: inline machine spec fails validation
+	CodeInvalidTemplate   = "invalid_template"   // 422: machine template fails to parse or validate
+	CodeLatticeTooLarge   = "lattice_too_large"  // 413: template expands beyond -max-cells
 	CodeUnknownJob        = "unknown_job"        // 404: job id never issued or already evicted
 	CodeInternal          = "internal"           // 500: handler panicked (isolated; service keeps running)
 	CodeOverloaded        = "overloaded"         // 503: admission semaphore full, request shed
@@ -69,6 +74,15 @@ func errBadProgram(msg string) *apiError {
 
 func errInvalidSpec(msg string) *apiError {
 	return &apiError{status: statusUnprocessable, code: CodeInvalidSpec, msg: msg}
+}
+
+func errInvalidTemplate(msg string) *apiError {
+	return &apiError{status: statusUnprocessable, code: CodeInvalidTemplate, msg: msg}
+}
+
+func errLatticeTooLarge(cells, max int) *apiError {
+	return &apiError{status: statusTooLarge, code: CodeLatticeTooLarge,
+		msg: fmt.Sprintf("template expands to %d cells, server cap is %d", cells, max)}
 }
 
 func errUnknownJob(id string) *apiError {

@@ -16,17 +16,19 @@ import (
 	"perfpredict/internal/resultcache"
 )
 
-// Async optimize jobs: POST /v1/optimize?async=1 validates the
-// request synchronously (a malformed request fails with the same
-// status a sync call would, before any job exists), then returns 202
-// with a job id; GET /v1/jobs/{id} polls progress. The job runs the
-// identical search the sync path runs — same warm caches, same
-// bounds — and lands its encoded response body in the result cache
-// under the same content-addressed key, so a later sync request for
-// the same work is a byte-identical cache hit.
+// Async jobs: POST /v1/optimize?async=1 (ids "opt-…") and POST
+// /v1/explore?async=1 (ids "exp-…") validate the request
+// synchronously (a malformed request fails with the same status a
+// sync call would, before any job exists), then return 202 with a job
+// id; GET /v1/jobs/{id} polls progress. The job runs the identical
+// work the sync path runs — same warm caches, same bounds — and lands
+// its encoded response body in the result cache under the same
+// content-addressed key, so a later sync request for the same work is
+// a byte-identical cache hit.
 //
 // Lifecycle: pending (accepted, waiting for a job slot) → running
-// (search executing; explored/best_cost live) → done | failed.
+// (work executing; explored live, plus best_cost for searches) →
+// done | failed.
 // Terminal states are final; finished jobs are retained FIFO up to
 // maxFinishedJobs and then forgotten (polling a forgotten or never
 // issued id is 404 unknown_job). Submissions whose key matches an
@@ -50,26 +52,29 @@ const (
 type JobStatus struct {
 	ID    string `json:"id"`
 	State string `json:"state"`
-	// Explored and BestCost mirror the running search's progress
-	// (nodes expanded; incumbent cost at the nominal point); absent
-	// until the search reports its first expansion.
+	// Explored mirrors the running job's progress: nodes expanded for
+	// an optimize search, lattice cells evaluated for an explore
+	// sweep; absent until the job reports its first unit of work.
+	// BestCost is the search's incumbent cost at the nominal point
+	// (optimize jobs only).
 	Explored int64    `json:"explored,omitempty"`
 	BestCost *float64 `json:"best_cost,omitempty"`
-	// Result is the OptimizeResponse, present when State is "done" —
-	// byte-identical to the body a synchronous /v1/optimize returns.
+	// Result is the endpoint's success body, present when State is
+	// "done" — byte-identical to the body the synchronous endpoint
+	// returns.
 	Result json.RawMessage `json:"result,omitempty"`
 	// Error is present when State is "failed".
 	Error *ErrorBody `json:"error,omitempty"`
 }
 
-// job is one async optimize execution.
+// job is one async execution (optimize or explore).
 type job struct {
 	id  string
 	key resultcache.Key
 
 	mu     sync.Mutex
 	state  string
-	result json.RawMessage // compact OptimizeResponse (no trailing newline)
+	result json.RawMessage // compact response document (no trailing newline)
 	errBdy *ErrorBody
 
 	explored atomic.Int64
@@ -126,12 +131,14 @@ func (m *jobManager) get(id string) (*job, bool) {
 }
 
 // newJob registers a fresh job in the given initial state; terminal
-// initial states (a cache-hit birth) go straight to the finished FIFO.
-func (m *jobManager) newJob(key resultcache.Key, state string) *job {
+// initial states (a cache-hit birth) go straight to the finished
+// FIFO. The prefix ("opt-", "exp-") marks the job's kind in its id;
+// the sequence is shared, so ids are unique across kinds.
+func (m *jobManager) newJob(key resultcache.Key, prefix, state string) *job {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.seq++
-	j := &job{id: fmt.Sprintf("opt-%06d", m.seq), key: key, state: state}
+	j := &job{id: fmt.Sprintf("%s%06d", prefix, m.seq), key: key, state: state}
 	m.jobs[j.id] = j
 	if state == jobDone || state == jobFailed {
 		m.retireLocked(j)
@@ -168,9 +175,13 @@ func (m *jobManager) retireLocked(j *job) {
 	}
 }
 
-// submitOptimize handles POST /v1/optimize?async=1 after the request
-// has been decoded, validated, and key-addressed by handleOptimize.
-func (s *Server) submitOptimize(req OptimizeRequest, target *perfpredict.Target, key resultcache.Key) (any, *apiError) {
+// submitJob is the shared async admission path: coalesce onto an
+// unfinished job for the same key, be born done on a result-cache
+// hit, or register a pending job and start run on its own goroutine.
+// run computes the full response body (with trailing newline) or an
+// error under ctx; submitJob owns all state transitions, caching,
+// retention, and metrics.
+func (s *Server) submitJob(key resultcache.Key, prefix string, run func(ctx context.Context, j *job) ([]byte, *ErrorBody)) (any, *apiError) {
 	// Coalesce onto an unfinished job for the same work.
 	s.jobs.mu.Lock()
 	if j, ok := s.jobs.byKey[key]; ok {
@@ -185,25 +196,25 @@ func (s *Server) submitOptimize(req OptimizeRequest, target *perfpredict.Target,
 	// compact document.)
 	if s.results != nil {
 		if b, ok := s.results.Get(key); ok {
-			j := s.jobs.newJob(key, jobDone)
+			j := s.jobs.newJob(key, prefix, jobDone)
 			j.result = bytes.TrimSuffix(b, []byte("\n"))
 			s.jobEvents.With("cache_hit").Inc()
 			return statusResponse{http.StatusAccepted, j.status()}, nil
 		}
 	}
 
-	j := s.jobs.newJob(key, jobPending)
+	j := s.jobs.newJob(key, prefix, jobPending)
 	s.jobEvents.With("submitted").Inc()
 	s.jobs.wg.Add(1)
-	go s.runJob(j, req, target)
+	go s.runJob(j, run)
 	return statusResponse{http.StatusAccepted, j.status()}, nil
 }
 
 // runJob executes one async job on its own goroutine: acquire a job
-// slot, run the search under the job timeout on a background context
-// (the submitting client is long gone), publish progress, land the
-// response in the result cache, finish.
-func (s *Server) runJob(j *job, req OptimizeRequest, target *perfpredict.Target) {
+// slot, run the work under the job timeout on a background context
+// (the submitting client is long gone), land the response in the
+// result cache, finish.
+func (s *Server) runJob(j *job, run func(ctx context.Context, j *job) ([]byte, *ErrorBody)) {
 	defer s.jobs.wg.Done()
 	defer func() {
 		if p := recover(); p != nil {
@@ -222,43 +233,81 @@ func (s *Server) runJob(j *job, req OptimizeRequest, target *perfpredict.Target)
 
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
 	defer cancel()
-	res, err := perfpredict.OptimizeCtx(ctx, req.Source, target, req.Nominal,
-		perfpredict.OptimizeOptions{
-			Workers:   s.boundWorkers(0),
-			SegCache:  s.seg,
-			NestCache: s.nest,
-			MaxNodes:  req.MaxNodes,
-			MaxDepth:  req.MaxDepth,
-			Progress: func(explored int, best float64) {
-				j.explored.Store(int64(explored))
-				j.bestBits.Store(math.Float64bits(best))
-				j.hasBest.Store(true)
-			},
-		})
-	if err != nil {
-		code := CodeBadProgram
-		if errors.Is(err, context.DeadlineExceeded) {
-			code = CodeDeadlineExceeded
-		}
+	body, errBody := run(ctx, j)
+	if errBody != nil {
 		s.jobEvents.With("failed").Inc()
-		s.jobs.finish(j, nil, &ErrorBody{Code: code, Message: err.Error()})
+		s.jobs.finish(j, nil, errBody)
 		return
 	}
-	body := marshalBody(OptimizeResponse{
-		Machine:         target.Name,
-		Source:          res.Source,
-		Transformations: res.Transformations,
-		PredictedBefore: res.PredictedBefore,
-		PredictedAfter:  res.PredictedAfter,
-		MemoryBefore:    res.MemoryBefore,
-		MemoryAfter:     res.MemoryAfter,
-		Explored:        res.Explored,
-	})
 	if s.results != nil {
 		s.results.Put(j.key, body)
 	}
 	s.jobEvents.With("completed").Inc()
 	s.jobs.finish(j, bytes.TrimSuffix(body, []byte("\n")), nil)
+}
+
+// jobErrBody maps a job-level failure to its structured error: a job
+// deadline reports deadline_exceeded, anything else the given code.
+func jobErrBody(err error, code string) *ErrorBody {
+	if errors.Is(err, context.DeadlineExceeded) {
+		code = CodeDeadlineExceeded
+	}
+	return &ErrorBody{Code: code, Message: err.Error()}
+}
+
+// submitOptimize handles POST /v1/optimize?async=1 after the request
+// has been decoded, validated, and key-addressed by handleOptimize.
+func (s *Server) submitOptimize(req OptimizeRequest, target *perfpredict.Target, key resultcache.Key) (any, *apiError) {
+	return s.submitJob(key, "opt-", func(ctx context.Context, j *job) ([]byte, *ErrorBody) {
+		res, err := perfpredict.OptimizeCtx(ctx, req.Source, target, req.Nominal,
+			perfpredict.OptimizeOptions{
+				Workers:   s.boundWorkers(0),
+				SegCache:  s.seg,
+				NestCache: s.nest,
+				MaxNodes:  req.MaxNodes,
+				MaxDepth:  req.MaxDepth,
+				Progress: func(explored int, best float64) {
+					j.explored.Store(int64(explored))
+					j.bestBits.Store(math.Float64bits(best))
+					j.hasBest.Store(true)
+				},
+			})
+		if err != nil {
+			return nil, jobErrBody(err, CodeBadProgram)
+		}
+		return marshalBody(OptimizeResponse{
+			Machine:         target.Name,
+			Source:          res.Source,
+			Transformations: res.Transformations,
+			PredictedBefore: res.PredictedBefore,
+			PredictedAfter:  res.PredictedAfter,
+			MemoryBefore:    res.MemoryBefore,
+			MemoryAfter:     res.MemoryAfter,
+			Explored:        res.Explored,
+		}), nil
+	})
+}
+
+// submitExplore handles POST /v1/explore?async=1 after the request
+// has been decoded, validated, and key-addressed by handleExplore.
+// The job's Explored counter reports lattice cells evaluated.
+func (s *Server) submitExplore(req ExploreRequest, tpl *perfpredict.MachineTemplate, key resultcache.Key) (any, *apiError) {
+	return s.submitJob(key, "exp-", func(ctx context.Context, j *job) ([]byte, *ErrorBody) {
+		res, err := perfpredict.ExploreCtx(ctx, tpl, exploreKernels(req.Kernels),
+			perfpredict.ExploreOptions{
+				Workers:  s.boundWorkers(0),
+				Args:     req.Args,
+				Target:   req.Target,
+				SegCache: s.seg,
+				Progress: func(done, total int) {
+					j.explored.Store(int64(done))
+				},
+			})
+		if err != nil {
+			return nil, jobErrBody(err, CodeBadProgram)
+		}
+		return marshalBody(res), nil
+	})
 }
 
 // handleJobGet serves GET /v1/jobs/{id}.

@@ -1,6 +1,6 @@
 // Package serve is the predictd HTTP service: the perfpredict
-// library behind four POST endpoints (/v1/predict, /v1/batch,
-// /v1/optimize, /v1/explain) with the production plumbing a
+// library behind five POST endpoints (/v1/predict, /v1/batch,
+// /v1/optimize, /v1/explain, /v1/explore) with the production plumbing a
 // long-running analysis service needs — bounded admission with load shedding, per-request
 // deadlines threaded as context cancellation into the batch workers
 // and the transformation search, panic-isolating middleware, warm
@@ -56,14 +56,19 @@ type Config struct {
 	// byte-identical either way; this knob exists for measurement and
 	// as an escape hatch.
 	DisableResultCache bool
-	// MaxJobs bounds concurrently *running* async optimize jobs
-	// (further accepted jobs queue in "pending"). Default 2, so
-	// background searches cannot starve interactive traffic.
+	// MaxJobs bounds concurrently *running* async jobs (optimize
+	// searches and explore sweeps; further accepted jobs queue in
+	// "pending"). Default 2, so background work cannot starve
+	// interactive traffic.
 	MaxJobs int
-	// JobTimeout is the deadline for one async job's search — async
+	// JobTimeout is the deadline for one async job's work — async
 	// work outlives the submitting request, so the request Timeout
 	// does not apply. Default 5m.
 	JobTimeout time.Duration
+	// MaxExploreCells caps the lattice size /v1/explore accepts;
+	// templates expanding beyond it are rejected 413 before any
+	// evaluation. Default 4096.
+	MaxExploreCells int
 }
 
 func (c *Config) defaults() {
@@ -81,6 +86,9 @@ func (c *Config) defaults() {
 	}
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 5 * time.Minute
+	}
+	if c.MaxExploreCells <= 0 {
+		c.MaxExploreCells = 4096
 	}
 }
 
@@ -136,6 +144,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("/v1/batch", s.endpoint("batch", s.handleBatch))
 	s.mux.Handle("/v1/optimize", s.endpoint("optimize", s.handleOptimize))
 	s.mux.Handle("/v1/explain", s.endpoint("explain", s.handleExplain))
+	s.mux.Handle("/v1/explore", s.endpoint("explore", s.handleExplore))
 	s.mux.Handle("GET /v1/jobs/{id}", s.getEndpoint("jobs", s.handleJobGet))
 	s.mux.Handle("/metrics", s.metrics.Handler())
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -195,10 +204,10 @@ func (s *Server) initMetrics() {
 	s.sfShared = s.metrics.Counter("predictd_singleflight_shared_total",
 		"Requests that waited on (and shared) another in-flight identical computation.")
 	s.jobEvents = s.metrics.Counter("predictd_jobs_total",
-		"Async optimize job events: submitted, coalesced, cache_hit, completed, failed.",
+		"Async job events (optimize and explore): submitted, coalesced, cache_hit, completed, failed.",
 		"event")
 	s.metrics.GaugeFunc("predictd_jobs_active",
-		"Async optimize jobs currently running a search.",
+		"Async jobs currently running (optimize searches and explore sweeps).",
 		func() float64 { return float64(s.jobs.active.Load()) })
 	rcStat := func(f func(resultcache.Stats) int64) func() float64 {
 		return func() float64 {

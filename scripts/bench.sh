@@ -1,7 +1,8 @@
 #!/bin/sh
-# Perf-trajectory recorder: runs the search/batch benchmarks and the
-# Tetris kernel microbenchmarks with -benchmem and writes
-# BENCH_optimize.json / BENCH_tetris.json (one JSON object per
+# Perf-trajectory recorder: runs the search/batch benchmarks, the
+# design-space sweep benchmarks, and the Tetris kernel
+# microbenchmarks with -benchmem and writes BENCH_optimize.json /
+# BENCH_explore.json / BENCH_tetris.json (one JSON object per
 # benchmark, plus the raw go-test output next to each in a .txt).
 # Non-gating — failures here should not fail CI, only lose a data
 # point.
@@ -62,6 +63,11 @@ go test -run '^$' -bench 'BenchmarkOptimize|BenchmarkPredictBatch' \
 	-benchtime "$benchtime" -benchmem . | tee "$tmp"
 to_json "$tmp" >BENCH_optimize.json
 echo "wrote BENCH_optimize.json"
+
+go test -run '^$' -bench 'BenchmarkExplore' -benchtime "$benchtime" \
+	-benchmem ./internal/explore | tee "$tmp"
+to_json "$tmp" >BENCH_explore.json
+echo "wrote BENCH_explore.json"
 
 go test -run '^$' -bench 'BenchmarkTetris' -benchtime "$tetris_benchtime" \
 	-count "$tetris_count" -benchmem ./internal/tetris | tee "$tmp"

@@ -109,7 +109,6 @@ program matmul44
 end
 EOF
 mm44=$(go run ./cmd/predict -explain "$exdir/mm44.f")
-rm -rf "$exdir"
 if ! echo "$mm44" | grep -q "bottleneck:   FPU"; then
 	echo "4x4-unrolled matmul bottleneck is not the FPU:" >&2
 	echo "$mm44" >&2
@@ -119,6 +118,24 @@ speedup=$(echo "$mm44" | sed -n 's/.*one more FPU pipe.*: .* cycles, \([0-9.]*\)
 if [ -z "$speedup" ] || ! awk "BEGIN { exit !($speedup > 1.0) }"; then
 	echo "one-more-FPU what-if did not predict a speedup (got '${speedup:-none}'):" >&2
 	echo "$mm44" >&2
+	exit 1
+fi
+
+echo "== explore smoke"
+# Sweeping the POWER1→POWER2F design space over the same 4x4-unrolled
+# multiply must rediscover the paper's result: the second FPU pipe is
+# worth ~1.71x, so the sweep's cost span across the lattice must
+# clear 1.5x. Guards the whole explore path (template expansion,
+# batch evaluation, frontier) end to end from the CLI.
+cat >"$exdir/template.json" <<'EOF'
+{"base_machine": "POWER1", "dispatch": [4, 5], "pipes": {"FPU": [1, 2]}}
+EOF
+sweep=$(go run ./cmd/predict -explore "$exdir/template.json" "$exdir/mm44.f")
+rm -rf "$exdir"
+span=$(echo "$sweep" | sed -n 's/^span: *\([0-9.]*\)x.*/\1/p')
+if [ -z "$span" ] || ! awk "BEGIN { exit !($span > 1.5) }"; then
+	echo "design-space sweep did not rediscover the POWER2F speedup (span '${span:-none}'):" >&2
+	echo "$sweep" >&2
 	exit 1
 fi
 
